@@ -1,0 +1,84 @@
+"""Ablation benchmarks: design constants the paper fixes, swept."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_object_size(benchmark, bench_scale, report_sink):
+    """Atomic-object size sensitivity (paper fixes Sobj = 512 B)."""
+    result = run_once(benchmark, ablations.run_object_size, bench_scale)
+    report_sink("ablation_objsize", result.render())
+    raw = result.raw
+    # Larger objects -> fewer objects -> fewer per-object overheads for
+    # copy-on-update, but coarser dirty tracking.
+    assert raw["128:copy-on-update"]["avg_overhead_s"] > 0
+    assert raw["8192:copy-on-update"]["avg_objects_written"] < raw[
+        "128:copy-on-update"
+    ]["avg_objects_written"]
+
+
+def test_full_dump_period(benchmark, bench_scale, report_sink):
+    """Full-dump period C: checkpoint-time vs recovery-time trade-off."""
+    result = run_once(benchmark, ablations.run_full_dump_period, bench_scale)
+    report_sink("ablation_fulldump", result.render())
+    raw = result.raw
+    # Recovery time grows with C (the (k*C + n) restore term).
+    assert (
+        raw["2:cou-partial-redo"]["recovery_s"]
+        < raw["50:cou-partial-redo"]["recovery_s"]
+    )
+
+
+def test_disk_bandwidth(benchmark, bench_scale, report_sink):
+    """Disk-bandwidth sweep: 2009 disks through RAM-SSDs."""
+    result = run_once(benchmark, ablations.run_disk_bandwidth, bench_scale)
+    report_sink("ablation_disk", result.render())
+    raw = result.raw
+    # Checkpoint time scales ~1/Bdisk for the full-state writers.
+    slow = raw["30:copy-on-update"]["avg_checkpoint_s"]
+    fast = raw["3000:copy-on-update"]["avg_checkpoint_s"]
+    assert fast < slow / 20
+    # In-game overhead is memory-bound: barely moves with disk speed.
+    assert raw["3000:copy-on-update"]["avg_overhead_s"] > 0.2 * raw[
+        "30:copy-on-update"
+    ]["avg_overhead_s"]
+
+
+def test_tick_rate(benchmark, bench_scale, report_sink):
+    """30 Hz vs 60 Hz: the latency limit halves, eager methods lose more."""
+    result = run_once(benchmark, ablations.run_tick_rate, bench_scale)
+    report_sink("ablation_tickrate", result.render())
+    raw = result.raw
+    assert raw["60:naive-snapshot"]["exceeds_latency_limit"]
+    assert not raw["30:copy-on-update"]["exceeds_latency_limit"]
+
+
+def test_alternatives(benchmark, bench_scale, report_sink):
+    """Sections 3.1/7 quantified: physical logging vs disk; K-safety."""
+    from repro.experiments import alternatives_study
+
+    result = run_once(benchmark, alternatives_study.run, bench_scale)
+    report_sink("alternatives", result.render())
+    raw = result.raw
+    high_rate = max(bench_scale.updates_sweep)
+    assert not raw["logging"][high_rate]["feasible"]
+    assert raw["availability"]["checkpoint recovery"]["four_nines"]
+    assert raw["availability"]["checkpoint recovery"]["utilization"] > 0.9
+    assert raw["availability"]["2-safe replication"]["utilization"] == 0.5
+
+
+def test_checkpoint_interval(benchmark, bench_scale, report_sink):
+    """Checkpoint-frequency cap on fast disks (beyond the paper)."""
+    result = run_once(benchmark, ablations.run_checkpoint_interval,
+                      bench_scale)
+    report_sink("ablation_interval", result.render())
+    raw = result.raw
+    assert (
+        raw["30:copy-on-update"]["avg_overhead_s"]
+        < raw["1:copy-on-update"]["avg_overhead_s"]
+    )
+    assert (
+        raw["30:copy-on-update"]["recovery_s"]
+        > raw["1:copy-on-update"]["recovery_s"]
+    )

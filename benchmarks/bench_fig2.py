@@ -1,0 +1,84 @@
+"""Regenerate Figure 2: scaling on the number of updates per tick.
+
+Each panel benchmark runs the full six-algorithm sweep once, prints the
+paper-shaped series, and asserts the paper's qualitative findings hold
+(who wins, by roughly what factor, where the crossovers fall).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+@pytest.fixture(scope="module")
+def fig2_result(bench_scale):
+    # Shared across the three panel benchmarks; each panel still times the
+    # sweep it is responsible for, so the first benchmark does the work.
+    return {}
+
+
+def _sweep(bench_scale):
+    return fig2.run(bench_scale)
+
+
+def test_fig2a(benchmark, bench_scale, report_sink, fig2_result):
+    """Figure 2(a): updates/tick vs average overhead time."""
+    result = run_once(benchmark, _sweep, bench_scale)
+    fig2_result["result"] = result
+    report_sink("fig2a", result.tables[0].render() + "\n\n" + result.charts[0])
+
+    low_rate = min(bench_scale.updates_sweep)
+    high_rate = max(bench_scale.updates_sweep)
+    raw = result.raw
+    # Copy-on-update wins at low rates, Naive-Snapshot at extreme rates.
+    assert (
+        raw[low_rate]["copy-on-update"]["avg_overhead_s"]
+        < raw[low_rate]["naive-snapshot"]["avg_overhead_s"]
+    )
+    assert (
+        raw[high_rate]["naive-snapshot"]["avg_overhead_s"]
+        < raw[high_rate]["copy-on-update"]["avg_overhead_s"]
+    )
+
+
+def test_fig2b(benchmark, bench_scale, report_sink, fig2_result):
+    """Figure 2(b): updates/tick vs average time to checkpoint."""
+    if "result" in fig2_result:
+        result = fig2_result["result"]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    else:
+        result = run_once(benchmark, _sweep, bench_scale)
+        fig2_result["result"] = result
+    report_sink("fig2b", result.tables[1].render() + "\n\n" + result.charts[1])
+
+    low_rate = min(bench_scale.updates_sweep)
+    raw = result.raw
+    # Full-state methods sit at ~0.68 s; Partial-Redo methods are far below
+    # at low rates (paper: 0.1 s at 1,000 updates/tick).
+    assert abs(raw[low_rate]["naive-snapshot"]["avg_checkpoint_s"] - 0.68) < 0.05
+    assert (
+        raw[low_rate]["partial-redo"]["avg_checkpoint_s"]
+        < 0.4 * raw[low_rate]["naive-snapshot"]["avg_checkpoint_s"]
+    )
+
+
+def test_fig2c(benchmark, bench_scale, report_sink, fig2_result):
+    """Figure 2(c): updates/tick vs estimated recovery time."""
+    if "result" in fig2_result:
+        result = fig2_result["result"]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    else:
+        result = run_once(benchmark, _sweep, bench_scale)
+        fig2_result["result"] = result
+    report_sink("fig2c", result.tables[2].render() + "\n\n" + result.charts[2])
+
+    high_rate = max(bench_scale.updates_sweep)
+    raw = result.raw
+    # Paper: ~1.4 s for full-state methods, ~7.2 s (5.4x) for Partial-Redo.
+    assert abs(raw[high_rate]["copy-on-update"]["recovery_s"] - 1.4) < 0.15
+    factor = (
+        raw[high_rate]["partial-redo"]["recovery_s"]
+        / raw[high_rate]["naive-snapshot"]["recovery_s"]
+    )
+    assert 4.0 < factor < 7.0

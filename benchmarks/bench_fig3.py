@@ -1,0 +1,23 @@
+"""Regenerate Figure 3: per-tick latency at 64,000 updates per tick."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, bench_scale, report_sink):
+    """Figure 3: tick-length timeline, ticks 55-110."""
+    result = run_once(benchmark, fig3.run, bench_scale)
+    report_sink(
+        "fig3", result.tables[0].render() + "\n\n" + result.charts[0]
+    )
+    raw = result.raw["results"]
+    # Eager methods blow the half-tick latency limit; copy-on-update fits.
+    for key in ("naive-snapshot", "atomic-copy", "partial-redo"):
+        assert raw[key]["exceeds_latency_limit"], key
+    for key in ("dribble", "copy-on-update", "cou-partial-redo"):
+        assert not raw[key]["exceeds_latency_limit"], key
+    # Copy-on-update overhead decays tick by tick after a checkpoint starts
+    # (paper: 12 ms, then 7 ms, then 4 ms, ...).
+    decay = result.raw["cou_decay_ms"]
+    assert decay[0] > decay[1] > decay[2]

@@ -1,0 +1,70 @@
+"""Regenerate Figure 4: effect of update skew at 64,000 updates per tick."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+@pytest.fixture(scope="module")
+def shared():
+    return {}
+
+
+def _sweep(bench_scale):
+    # Always include the extremes the paper's Section 5.3 narrates.
+    scale = bench_scale
+    if 0.99 not in scale.skew_sweep or 0.0 not in scale.skew_sweep:
+        scale = scale.with_overrides(
+            skew_sweep=tuple(sorted(set(scale.skew_sweep) | {0.0, 0.99}))
+        )
+    return fig4.run(scale)
+
+
+def test_fig4a(benchmark, bench_scale, report_sink, shared):
+    """Figure 4(a): skew vs average overhead time."""
+    result = run_once(benchmark, _sweep, bench_scale)
+    shared["result"] = result
+    report_sink("fig4a", result.tables[0].render() + "\n\n" + result.charts[0])
+    raw = result.raw
+    # Naive-Snapshot is skew-blind; copy-on-update benefits from skew.
+    assert raw[0.99]["naive-snapshot"]["avg_overhead_s"] == pytest.approx(
+        raw[0.0]["naive-snapshot"]["avg_overhead_s"], rel=0.05
+    )
+    assert (
+        raw[0.99]["copy-on-update"]["avg_overhead_s"]
+        < raw[0.0]["copy-on-update"]["avg_overhead_s"]
+    )
+
+
+def test_fig4b(benchmark, bench_scale, report_sink, shared):
+    """Figure 4(b): skew vs time to checkpoint."""
+    if "result" in shared:
+        result = shared["result"]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    else:
+        result = run_once(benchmark, _sweep, bench_scale)
+        shared["result"] = result
+    report_sink("fig4b", result.tables[1].render())
+    raw = result.raw
+    # Partial-Redo's checkpoint shrinks with skew (fewer dirty objects).
+    assert (
+        raw[0.99]["partial-redo"]["avg_checkpoint_s"]
+        < raw[0.0]["partial-redo"]["avg_checkpoint_s"]
+    )
+
+
+def test_fig4c(benchmark, bench_scale, report_sink, shared):
+    """Figure 4(c): skew vs recovery time (paper: 7.3 s down to ~6.3 s)."""
+    if "result" in shared:
+        result = shared["result"]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    else:
+        result = run_once(benchmark, _sweep, bench_scale)
+        shared["result"] = result
+    report_sink("fig4c", result.tables[2].render() + "\n\n" + result.charts[1])
+    raw = result.raw
+    high = raw[0.0]["partial-redo"]["recovery_s"]
+    low = raw[0.99]["partial-redo"]["recovery_s"]
+    assert low < high
+    assert low > 3 * raw[0.99]["naive-snapshot"]["recovery_s"]

@@ -1,0 +1,43 @@
+"""Regenerate Tables 1-5 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import paper_tables
+
+
+def test_table1(benchmark, bench_scale, report_sink):
+    """Table 1: the checkpointing design space."""
+    result = run_once(benchmark, paper_tables.run_table1, bench_scale)
+    report_sink("table1", result.render())
+    assert len(result.tables[0].rows) == 6
+
+
+def test_table2(benchmark, bench_scale, report_sink):
+    """Table 2: subroutine implementations per algorithm."""
+    result = run_once(benchmark, paper_tables.run_table2, bench_scale)
+    report_sink("table2", result.render())
+    assert result.raw["copy-on-update"]["Handle-Update"] == (
+        "First touched, dirty"
+    )
+
+
+def test_table3(benchmark, bench_scale, report_sink):
+    """Table 3: cost-estimation parameters."""
+    result = run_once(benchmark, paper_tables.run_table3, bench_scale)
+    report_sink("table3", result.render())
+    assert "Bdisk" in result.render()
+
+
+def test_table4(benchmark, bench_scale, report_sink):
+    """Table 4: Zipfian trace parameters."""
+    result = run_once(benchmark, paper_tables.run_table4, bench_scale)
+    report_sink("table4", result.render())
+    assert "64,000" in result.render()
+
+
+def test_table5(benchmark, bench_scale, report_sink):
+    """Table 5: game-trace characteristics (paper: 35,590 updates/tick)."""
+    result = run_once(benchmark, paper_tables.run_table5, bench_scale)
+    report_sink("table5", result.render())
+    measured = result.raw["avg_updates_per_tick"]
+    assert abs(measured - 35_590) / 35_590 < 0.08

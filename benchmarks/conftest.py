@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper artifact (table/figure) has one benchmark that *regenerates* it:
+the benchmark times the experiment driver, prints the resulting rows/series
+(the same ones the paper reports), and writes them to
+``benchmarks/reports/<id>.txt``.
+
+Scale control: benchmarks default to the quick experiment scale so the whole
+harness runs in a couple of minutes; set ``REPRO_BENCH_SCALE=full`` for the
+full sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import FULL_SCALE, QUICK_SCALE
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Experiment scale for benchmarks (quick unless REPRO_BENCH_SCALE=full)."""
+    if os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full":
+        return FULL_SCALE
+    return QUICK_SCALE
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Writes each regenerated artifact to benchmarks/reports/<id>.txt."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(experiment_id: str, text: str) -> None:
+        path = REPORT_DIR / f"{experiment_id}.txt"
+        path.write_text(text)
+        print(f"\n{text}\n[report written to {path}]")
+
+    return write
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Time ``function`` exactly once (experiment sweeps are too slow for
+    repeated rounds) and return its result."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Run a Knights and Archers battle, record its trace, and checkpoint it.
+
+This walks the paper's Section 5.4 pipeline end to end:
+
+1. simulate a medieval battle (knights pursue, archers kite, healers mend,
+   10% of units active with churn);
+2. record every cell update into a trace and characterize it (Table 5);
+3. feed the trace to the checkpoint simulator and compare all six
+   algorithms on realistic game updates.
+
+Usage::
+
+    python examples/knights_archers_battle.py [num_units] [num_ticks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CheckpointSimulator, TraceStatistics
+from repro.analysis import TextTable
+from repro.config import PAPER_HARDWARE, SimulationConfig
+from repro.game import BattleReport, BattleScenario, KnightsArchersGame, record_trace
+from repro.state import GameStateTable
+from repro.units import format_duration
+
+
+def main() -> None:
+    num_units = int(sys.argv[1]) if len(sys.argv) > 1 else 8_192
+    num_ticks = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+
+    scenario = BattleScenario(num_units=num_units)
+    game = KnightsArchersGame(scenario)
+    print(
+        f"Battlefield: {scenario.arena_size:.0f} x {scenario.arena_size:.0f}, "
+        f"{num_units:,} units "
+        f"({scenario.knight_fraction:.0%} knights, "
+        f"{scenario.archer_fraction:.0%} archers, "
+        f"{scenario.healer_fraction:.0%} healers)\n"
+    )
+
+    table = GameStateTable(scenario.geometry, dtype=np.float32)
+    trace = record_trace(game, num_ticks, seed=42, table=table)
+
+    print(BattleReport.from_table(table).describe())
+    print()
+    stats = TraceStatistics.from_trace(trace)
+    print(stats.describe())
+    print()
+
+    config = SimulationConfig(
+        hardware=PAPER_HARDWARE, geometry=scenario.geometry, warmup_ticks=30
+    )
+    simulator = CheckpointSimulator(config)
+    results_table = TextTable(
+        "Checkpointing the battle (all six algorithms on the recorded trace)",
+        ["algorithm", "avg overhead/tick", "time to checkpoint", "recovery"],
+    )
+    for result in simulator.run_all(trace):
+        results_table.add_row(
+            [
+                result.algorithm_name,
+                format_duration(result.avg_overhead),
+                format_duration(result.avg_checkpoint_time),
+                format_duration(result.recovery_time),
+            ]
+        )
+    results_table.add_note(
+        "Section 5.4's observation: on game traces copy-on-update methods "
+        "spread overhead across ticks, and partial-redo methods pay for "
+        "their log at recovery time"
+    )
+    print(results_table.render())
+
+
+if __name__ == "__main__":
+    main()

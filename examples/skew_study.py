@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Study the effect of update skew (the paper's Figure 4) interactively.
+
+Sweeps the Zipf skew at a fixed update rate and renders ASCII charts of
+overhead and recovery time for all six algorithms.
+
+Usage::
+
+    python examples/skew_study.py [updates_per_tick]
+"""
+
+import sys
+
+from repro import PAPER_CONFIG, CheckpointSimulator, ZipfTrace
+from repro.analysis import line_chart
+from repro.core import ALGORITHM_KEYS, algorithm_class
+from repro.simulation.simulator import PrecomputedObjectTrace
+
+
+def main() -> None:
+    updates_per_tick = int(sys.argv[1]) if len(sys.argv) > 1 else 64_000
+    skews = [0.0, 0.2, 0.4, 0.6, 0.8, 0.99]
+    simulator = CheckpointSimulator(PAPER_CONFIG)
+
+    overhead = {algorithm_class(key).name: [] for key in ALGORITHM_KEYS}
+    recovery = {algorithm_class(key).name: [] for key in ALGORITHM_KEYS}
+    for skew in skews:
+        print(f"simulating skew {skew:g} ...")
+        trace = PrecomputedObjectTrace(
+            ZipfTrace(
+                PAPER_CONFIG.geometry,
+                updates_per_tick=updates_per_tick,
+                skew=skew,
+                num_ticks=120,
+            )
+        )
+        for result in simulator.run_all(trace):
+            overhead[result.algorithm_name].append(result.avg_overhead * 1e3)
+            recovery[result.algorithm_name].append(result.recovery_time)
+
+    print()
+    print(
+        line_chart(
+            skews, overhead,
+            title=f"overhead [ms] vs skew @ {updates_per_tick:,} updates/tick",
+            y_label="ms",
+        )
+    )
+    print()
+    print(
+        line_chart(
+            skews, recovery,
+            title=f"recovery [s] vs skew @ {updates_per_tick:,} updates/tick",
+            y_label="s",
+        )
+    )
+    print(
+        "\npaper's reading: skew shrinks the dirty set; copy-on-update "
+        "methods benefit most (fewer locks and copies); the Partial-Redo "
+        "pair's recovery falls from ~7.3 s to ~6.3 s but stays far above "
+        "the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Validate the simulation model on *this* machine (the paper's Section 6).
+
+1. micro-benchmarks the host (memory bandwidth/latency, lock and bit-op
+   overheads, disk bandwidth) -- the Table 3 methodology;
+2. runs the real threaded implementation of Naive-Snapshot and
+   Copy-on-Update (mutator + asynchronous writer, real checkpoint files);
+3. runs the simulator calibrated with the measured parameters on the same
+   workload and prints both side by side.
+
+Usage::
+
+    python examples/validate_on_this_host.py [ticks]
+"""
+
+import sys
+
+from repro.analysis import TextTable
+from repro.experiments.common import format_seconds
+from repro.units import format_duration, format_rate
+from repro.validation import measure_host_parameters, run_validation_sweep
+
+
+def main() -> None:
+    ticks = int(sys.argv[1]) if len(sys.argv) > 1 else 90
+
+    print("micro-benchmarking this host (a few seconds) ...")
+    hardware = measure_host_parameters(quick=True)
+    print(
+        f"  memory bandwidth  {format_rate(hardware.memory_bandwidth)}\n"
+        f"  memory latency    {format_duration(hardware.memory_latency)}\n"
+        f"  lock overhead     {format_duration(hardware.lock_overhead)}\n"
+        f"  bit test/set      {format_duration(hardware.bit_test_overhead)}\n"
+        f"  disk bandwidth    {format_rate(hardware.disk_bandwidth)}\n"
+    )
+
+    comparisons = run_validation_sweep(
+        updates_per_tick_values=(1_000, 8_000, 32_000, 64_000),
+        num_ticks=ticks,
+        hardware=hardware,
+    )
+    table = TextTable(
+        "Simulation vs real threaded implementation (this host)",
+        ["algorithm", "updates/tick",
+         "overhead sim", "overhead real",
+         "checkpoint sim", "checkpoint real",
+         "recovery sim", "recovery real"],
+    )
+    for row in comparisons:
+        table.add_row(
+            [
+                row.algorithm_name,
+                f"{row.updates_per_tick:,}",
+                format_seconds(row.simulated_overhead),
+                format_seconds(row.measured_overhead),
+                format_seconds(row.simulated_checkpoint),
+                format_seconds(row.measured_checkpoint),
+                format_seconds(row.simulated_recovery),
+                format_seconds(row.measured_recovery),
+            ]
+        )
+    table.add_note(
+        "the paper found implementation overhead up to 3x the simulation "
+        "for Copy-on-Update (lock contention, writer interference) with "
+        "matching trends -- expect the same flavour of gap here"
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Generic result presentation: aligned text tables and ASCII charts."""
+
+from repro.analysis.ascii_chart import line_chart
+from repro.analysis.export import export_figure, figure_to_json, table_to_csv
+from repro.analysis.tables import TextTable
+
+__all__ = [
+    "TextTable",
+    "export_figure",
+    "figure_to_json",
+    "line_chart",
+    "table_to_csv",
+]

@@ -1,0 +1,95 @@
+"""Minimal ASCII line charts for terminal-friendly figure reproduction.
+
+Good enough to eyeball the *shape* of a figure (crossovers, plateaus, peaks)
+without a plotting dependency.  Each series gets a single marker character;
+collisions show the later series' marker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scaled values must be positive")
+        return math.log10(value)
+    return value
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (name -> y values over ``xs``) as an ASCII chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = list(xs)
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} xs"
+            )
+    if len(xs) < 2:
+        raise ValueError("need at least two x positions")
+
+    tx = [_transform(x, log_x) for x in xs]
+    all_y = [
+        _transform(y, log_y) for ys in series.values() for y in ys
+    ]
+    x_low, x_high = min(tx), max(tx)
+    y_low, y_high = min(all_y), max(all_y)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, y in zip(tx, ys):
+            ty = _transform(y, log_y)
+            column = round((x - x_low) / (x_high - x_low) * (width - 1))
+            row = round((ty - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**y_high:.3g}" if log_y else f"{y_high:.3g}"
+    bottom = f"{10**y_low:.3g}" if log_y else f"{y_low:.3g}"
+    label_width = max(len(top), len(bottom), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top
+        elif row_index == height - 1:
+            label = bottom
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    left = f"{10**x_low:.3g}" if log_x else f"{x_low:.3g}"
+    right = f"{10**x_high:.3g}" if log_x else f"{x_high:.3g}"
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    lines.append(
+        f"{' ' * label_width}  {left}{' ' * max(1, width - len(left) - len(right))}"
+        f"{right}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Machine-readable exports of experiment results (CSV and JSON).
+
+The text tables are for humans; these helpers feed external plotting
+pipelines: one CSV per rendered table, and a JSON document carrying an
+experiment's raw metric dictionary.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import TYPE_CHECKING, List, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.common import FigureResult
+
+from repro.analysis.tables import TextTable
+
+
+def table_to_csv(table: TextTable) -> str:
+    """Render one text table as CSV (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _sanitize(value):
+    """Make raw experiment values JSON-friendly."""
+    if isinstance(value, dict):
+        return {str(key): _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+def figure_to_json(figure: "FigureResult") -> str:
+    """Serialize an experiment's identity and raw metrics as JSON."""
+    document = {
+        "experiment_id": figure.experiment_id,
+        "description": figure.description,
+        "tables": [
+            {"title": table.title, "columns": table.columns,
+             "rows": table.rows}
+            for table in figure.tables
+        ],
+        "raw": _sanitize(figure.raw),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def export_figure(
+    figure: "FigureResult", directory: Union[str, os.PathLike]
+) -> List[str]:
+    """Write ``<id>.json`` plus ``<id>_table<n>.csv`` files; returns paths."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    json_path = os.path.join(directory, f"{figure.experiment_id}.json")
+    with open(json_path, "w") as handle:
+        handle.write(figure_to_json(figure))
+    written.append(json_path)
+    for index, table in enumerate(figure.tables):
+        csv_path = os.path.join(
+            directory, f"{figure.experiment_id}_table{index}.csv"
+        )
+        with open(csv_path, "w") as handle:
+            handle.write(table_to_csv(table))
+        written.append(csv_path)
+    return written

@@ -1,0 +1,88 @@
+"""Aligned text tables for experiment output.
+
+The experiment drivers print "the same rows/series the paper reports"; this
+module renders them as monospaced tables with a title and footnotes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class TextTable:
+    """A title, a header row, data rows, and footnotes, rendered aligned."""
+
+    def __init__(
+        self,
+        title: str,
+        columns: Sequence[str],
+        align_right: Optional[Sequence[bool]] = None,
+    ) -> None:
+        self._title = title
+        self._columns = [str(column) for column in columns]
+        if align_right is None:
+            # First column (labels) left, everything else right.
+            align_right = [False] + [True] * (len(self._columns) - 1)
+        if len(align_right) != len(self._columns):
+            raise ValueError(
+                f"align_right has {len(align_right)} entries for "
+                f"{len(self._columns)} columns"
+            )
+        self._align_right = list(align_right)
+        self._rows: List[List[str]] = []
+        self._notes: List[str] = []
+
+    @property
+    def title(self) -> str:
+        """The table's title line."""
+        return self._title
+
+    @property
+    def columns(self) -> List[str]:
+        """Header labels."""
+        return list(self._columns)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """Stringified data rows added so far."""
+        return [list(row) for row in self._rows]
+
+    def add_row(self, cells: Iterable) -> None:
+        """Append one data row (cells are stringified)."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self._columns):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(self._columns)} columns"
+            )
+        self._rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote printed under the table."""
+        self._notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned monospaced text."""
+        widths = [len(column) for column in self._columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def format_row(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if self._align_right[index]:
+                    parts.append(cell.rjust(widths[index]))
+                else:
+                    parts.append(cell.ljust(widths[index]))
+            return "  ".join(parts).rstrip()
+
+        lines = [self._title, "=" * len(self._title)]
+        lines.append(format_row(self._columns))
+        lines.append(format_row(["-" * width for width in widths]))
+        lines.extend(format_row(row) for row in self._rows)
+        for note in self._notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: consistent checkpointing for MMOs.
+
+This package contains the Checkpointing Algorithmic Framework of Section 4.1
+and the six algorithms of Table 1/Table 2:
+
+========================== ============== ============== =============
+Algorithm                  in-memory copy objects copied disk layout
+========================== ============== ============== =============
+Naive-Snapshot             eager          all            double backup
+Dribble-and-Copy-on-Update copy-on-update all            log
+Atomic-Copy-Dirty-Objects  eager          dirty          double backup
+Partial-Redo               eager          dirty          log
+Copy-on-Update             copy-on-update dirty          double backup
+Copy-on-Update-Partial-Redo copy-on-update dirty         log
+========================== ============== ============== =============
+
+Each algorithm is a :class:`~repro.core.policy.CheckpointPolicy`: pure
+decision logic over dirty bitmaps that says *which* atomic objects each
+framework subroutine acts on.  The same policy objects drive both the
+analytic simulator (:mod:`repro.simulation`) and the real durable engine
+(:mod:`repro.engine`), which plug different
+:class:`~repro.core.framework.SubroutineExecutor` implementations into the
+shared :class:`~repro.core.framework.CheckpointFramework`.
+"""
+
+from repro.core.framework import CheckpointFramework, SubroutineExecutor, TickBoundary
+from repro.core.plan import CheckpointPlan, DiskLayout, UpdateEffects
+from repro.core.policy import CheckpointPolicy
+from repro.core.registry import (
+    ALGORITHM_KEYS,
+    algorithm_class,
+    all_algorithm_classes,
+    make_policy,
+)
+
+__all__ = [
+    "ALGORITHM_KEYS",
+    "CheckpointFramework",
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "DiskLayout",
+    "SubroutineExecutor",
+    "TickBoundary",
+    "UpdateEffects",
+    "algorithm_class",
+    "all_algorithm_classes",
+    "make_policy",
+]

@@ -1,0 +1,17 @@
+"""The six checkpointing algorithms of Table 1 / Table 2."""
+
+from repro.core.algorithms.atomic_copy import AtomicCopyDirtyObjects
+from repro.core.algorithms.copy_on_update import CopyOnUpdate
+from repro.core.algorithms.cou_partial_redo import CopyOnUpdatePartialRedo
+from repro.core.algorithms.dribble import DribbleAndCopyOnUpdate
+from repro.core.algorithms.naive_snapshot import NaiveSnapshot
+from repro.core.algorithms.partial_redo import PartialRedo
+
+__all__ = [
+    "AtomicCopyDirtyObjects",
+    "CopyOnUpdate",
+    "CopyOnUpdatePartialRedo",
+    "DribbleAndCopyOnUpdate",
+    "NaiveSnapshot",
+    "PartialRedo",
+]

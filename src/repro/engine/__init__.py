@@ -1,0 +1,28 @@
+"""A real durable game server built on the checkpointing framework.
+
+Unlike the analytic simulator, this package moves actual bytes: the
+:class:`~repro.engine.server.DurableGameServer` runs a deterministic
+:class:`~repro.engine.app.TickApplication` tick by tick, checkpointing its
+:class:`~repro.state.table.GameStateTable` to real files through any of the
+six algorithms, logging every tick to the logical
+:class:`~repro.storage.action_log.ActionLog`, and surviving crashes:
+:class:`~repro.engine.recovery.RecoveryManager` restores the newest
+consistent checkpoint and replays the log to the exact crash tick.
+"""
+
+from repro.engine.app import TickApplication, TickUpdatesPlan
+from repro.engine.executor import RealExecutor
+from repro.engine.recovery import RecoveryManager, RecoveryReport
+from repro.engine.server import DurableGameServer
+from repro.engine.shard import MMOShard, ShardRecovery
+
+__all__ = [
+    "DurableGameServer",
+    "MMOShard",
+    "RealExecutor",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ShardRecovery",
+    "TickApplication",
+    "TickUpdatesPlan",
+]

@@ -1,0 +1,191 @@
+"""The real subroutine executor: actual memory copies and file writes.
+
+:class:`RealExecutor` plugs into the shared
+:class:`~repro.core.framework.CheckpointFramework` just like the simulator's
+executor, but instead of charging model costs it
+
+* copies live object payloads into a snapshot buffer (``Copy-To-Memory`` and
+  the old-value saves of ``Handle-Update``), and
+* writes checkpoints to a real :class:`~repro.storage.DoubleBackupStore` or
+  :class:`~repro.storage.CheckpointLogStore`, draining a bounded number of
+  bytes per tick to emulate the asynchronous writer deterministically
+  (the threaded variant lives in :mod:`repro.validation`).
+
+The consistency argument mirrors the paper's: every object in the write set
+is emitted either from the snapshot buffer (if it was updated after the cut;
+its pre-update value was saved on first touch) or from the live table (if it
+has not been updated since the cut, in which case the live value *is* the cut
+value).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.framework import SubroutineExecutor
+from repro.core.plan import CheckpointPlan, UpdateEffects
+from repro.errors import EngineError
+from repro.state.table import GameStateTable
+from repro.storage.checkpoint_log import CheckpointLogStore
+from repro.storage.double_backup import DoubleBackupStore
+
+StoreType = Union[DoubleBackupStore, CheckpointLogStore]
+
+
+class RealExecutor(SubroutineExecutor):
+    """Executes the framework subroutines against real memory and files."""
+
+    def __init__(
+        self,
+        table: GameStateTable,
+        store: StoreType,
+        writer_bytes_per_tick: Optional[int] = None,
+    ) -> None:
+        geometry = table.geometry
+        if store.geometry != geometry:
+            raise EngineError(
+                f"store geometry {store.geometry} does not match table "
+                f"geometry {geometry}"
+            )
+        if writer_bytes_per_tick is not None and writer_bytes_per_tick <= 0:
+            raise EngineError(
+                f"writer_bytes_per_tick must be positive, got "
+                f"{writer_bytes_per_tick}"
+            )
+        self._table = table
+        self._store = store
+        self._geometry = geometry
+        self._writer_bytes_per_tick = writer_bytes_per_tick
+        num_objects = geometry.num_objects
+        self._snapshot = np.zeros(
+            (num_objects, geometry.cells_per_object), dtype=table.dtype
+        )
+        self._snapshot_mask = np.zeros(num_objects, dtype=bool)
+        self._all_ids = np.arange(num_objects, dtype=np.int64)
+        # In-flight write task.
+        self._task_ids: Optional[np.ndarray] = None
+        self._task_position = 0
+        self._task_committed = False
+        self._current_tick = -1
+        self._task_cut_tick = -1
+        # Accounting exposed to the server.
+        self.sync_copy_seconds = 0.0
+        self.handle_update_seconds = 0.0
+        self.bytes_written = 0
+        self.checkpoints_committed = 0
+
+    @property
+    def store(self) -> StoreType:
+        """The stable-storage structure checkpoints are written to."""
+        return self._store
+
+    def set_current_tick(self, tick: int) -> None:
+        """Tell the executor which tick is ending (the checkpoint cut)."""
+        self._current_tick = tick
+
+    # ------------------------------------------------------------------
+    # SubroutineExecutor interface
+    # ------------------------------------------------------------------
+
+    def copy_to_memory(self, plan: CheckpointPlan) -> float:
+        started = time.perf_counter()
+        # A new checkpoint's snapshot starts empty; stale old values belong
+        # to the previous (already durable) checkpoint.
+        self._snapshot_mask.fill(False)
+        ids = plan.eager_copy_ids
+        if ids.size:
+            self._snapshot[ids] = self._table.read_objects(ids)
+            self._snapshot_mask[ids] = True
+        elapsed = time.perf_counter() - started
+        self.sync_copy_seconds += elapsed
+        return elapsed
+
+    def begin_stable_write(self, plan: CheckpointPlan) -> None:
+        if self._task_ids is not None and not self._task_committed:
+            raise EngineError("previous checkpoint write still in flight")
+        epoch = plan.checkpoint_index + 1
+        if isinstance(self._store, DoubleBackupStore):
+            backup_index = plan.checkpoint_index % 2
+            self._store.begin_checkpoint(backup_index, epoch)
+        else:
+            self._store.begin_checkpoint(epoch, plan.is_full_dump)
+        if plan.write_ids is None:
+            ids = self._all_ids
+        else:
+            ids = np.sort(plan.write_ids)
+        self._task_ids = ids
+        self._task_position = 0
+        self._task_committed = False
+        # The checkpoint represents the state at the tick ending now -- that
+        # cut tick, not the later commit-time tick, is where replay resumes.
+        self._task_cut_tick = self._current_tick
+        if ids.size == 0:
+            self._commit()
+
+    def stable_write_finished(self) -> bool:
+        return self._task_ids is None or self._task_committed
+
+    def handle_updates(self, effects: UpdateEffects) -> float:
+        started = time.perf_counter()
+        ids = effects.copy_ids
+        if ids.size:
+            # Save old values only for objects not already snapshotted this
+            # checkpoint -- each object is copied at most once per checkpoint.
+            fresh = ids[~self._snapshot_mask[ids]]
+            if fresh.size:
+                self._snapshot[fresh] = self._table.read_objects(fresh)
+                self._snapshot_mask[fresh] = True
+        elapsed = time.perf_counter() - started
+        self.handle_update_seconds += elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # The emulated asynchronous writer
+    # ------------------------------------------------------------------
+
+    def drain(self, budget_bytes: Optional[int] = None) -> int:
+        """Advance the in-flight checkpoint write by up to ``budget_bytes``.
+
+        Returns the number of bytes written.  With ``budget_bytes`` omitted
+        the executor's per-tick default applies (unbounded if that is None).
+        The server calls this once per tick, standing in for the paper's
+        asynchronous writer thread.
+        """
+        if self._task_ids is None or self._task_committed:
+            return 0
+        if budget_bytes is None:
+            budget_bytes = self._writer_bytes_per_tick
+        object_bytes = self._geometry.object_bytes
+        remaining = self._task_ids.size - self._task_position
+        if budget_bytes is None:
+            count = remaining
+        else:
+            count = min(remaining, max(1, budget_bytes // object_bytes))
+        chunk = self._task_ids[self._task_position: self._task_position + count]
+        payloads = self._gather_payloads(chunk)
+        if isinstance(self._store, DoubleBackupStore):
+            self._store.write_objects(chunk, payloads)
+        else:
+            self._store.append_objects(chunk, payloads)
+        self._task_position += count
+        written = count * object_bytes
+        self.bytes_written += written
+        if self._task_position >= self._task_ids.size:
+            self._commit()
+        return written
+
+    def _gather_payloads(self, ids: np.ndarray) -> bytes:
+        """Cut-consistent payloads: snapshot where saved, live table otherwise."""
+        payloads = self._table.read_objects(ids)
+        saved = self._snapshot_mask[ids]
+        if saved.any():
+            payloads[saved] = self._snapshot[ids[saved]]
+        return payloads.tobytes()
+
+    def _commit(self) -> None:
+        self._store.commit_checkpoint(self._task_cut_tick)
+        self._task_committed = True
+        self.checkpoints_committed += 1

@@ -1,0 +1,279 @@
+"""The durable game server: tick loop + checkpointing + logical logging.
+
+:class:`DurableGameServer` is the single-shard game server of the paper's
+architecture (Figure 1), reduced to its persistence-relevant core.  Each call
+to :meth:`run_tick`:
+
+1. captures the random generator state and asks the application to *plan*
+   the tick's updates;
+2. routes the touched atomic objects through the checkpointing framework
+   (saving old values where the algorithm requires it);
+3. applies the updates to the in-memory table;
+4. durably appends the tick's logical-log record;
+5. lets the emulated asynchronous writer drain some checkpoint bytes; and
+6. runs the framework's end-of-tick boundary, finishing and starting
+   checkpoints.
+
+:meth:`crash` abandons all in-memory state, after which
+:class:`~repro.engine.recovery.RecoveryManager` can rebuild the exact
+pre-crash table from the on-disk checkpoint plus log replay.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.framework import CheckpointFramework
+from repro.core.plan import DiskLayout
+from repro.core.registry import make_policy
+from repro.engine.app import TickApplication
+from repro.engine.executor import RealExecutor
+from repro.errors import EngineError
+from repro.state.table import GameStateTable
+from repro.storage.action_log import ActionLog, TickRecord
+from repro.storage.checkpoint_log import CheckpointLogStore
+from repro.storage.double_backup import DoubleBackupStore
+
+
+@dataclass
+class ServerStats:
+    """Counters accumulated over a server's lifetime."""
+
+    ticks_run: int = 0
+    updates_applied: int = 0
+    checkpoints_started: int = 0
+    checkpoints_completed: int = 0
+    sync_copy_seconds: float = 0.0
+    handle_update_seconds: float = 0.0
+    bytes_written: int = 0
+    #: Objects written per completed checkpoint, in completion order.
+    checkpoint_write_counts: List[int] = field(default_factory=list)
+
+
+class DurableGameServer:
+    """Runs a deterministic tick application with durable checkpointing."""
+
+    def __init__(
+        self,
+        app: TickApplication,
+        directory: Union[str, os.PathLike],
+        algorithm: str = "copy-on-update",
+        seed: int = 0,
+        full_dump_period: int = 9,
+        writer_bytes_per_tick: Optional[int] = None,
+        sync: bool = False,
+        min_checkpoint_interval_ticks: int = 1,
+    ) -> None:
+        if min_checkpoint_interval_ticks < 1:
+            raise EngineError(
+                "min_checkpoint_interval_ticks must be >= 1, got "
+                f"{min_checkpoint_interval_ticks}"
+            )
+        self._app = app
+        self._directory = os.fspath(directory)
+        self._seed = seed
+        self._min_checkpoint_interval = min_checkpoint_interval_ticks
+        self._last_checkpoint_start_tick = -min_checkpoint_interval_ticks
+        geometry = app.geometry
+        self._table = GameStateTable(geometry, dtype=app.dtype)
+        self._rng = np.random.default_rng(seed)
+        app.initialize(self._table, self._rng)
+
+        self._policy = make_policy(
+            algorithm, geometry.num_objects, full_dump_period=full_dump_period
+        )
+        if self._policy.layout is DiskLayout.DOUBLE_BACKUP:
+            self._store = DoubleBackupStore(self._directory, geometry, sync=sync)
+        else:
+            self._store = CheckpointLogStore(self._directory, geometry, sync=sync)
+        if writer_bytes_per_tick is None:
+            # Default: spread a full-state write over ~16 ticks, echoing the
+            # paper's regime where checkpoints span many ticks.
+            writer_bytes_per_tick = max(
+                geometry.object_bytes, geometry.checkpoint_bytes // 16
+            )
+        self._executor = RealExecutor(
+            self._table, self._store, writer_bytes_per_tick=writer_bytes_per_tick
+        )
+        self._framework = CheckpointFramework(self._policy, self._executor)
+        self._action_log = ActionLog(self._directory, sync=sync)
+        if self._action_log.last_tick is not None:
+            raise EngineError(
+                f"{self._directory} already contains a server's logs; "
+                "recover it instead of starting fresh"
+            )
+        self._next_tick = 0
+        self._crashed = False
+        self._closed = False
+        self._pending_commands: List[bytes] = []
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def table(self) -> GameStateTable:
+        """The live in-memory game state."""
+        return self._table
+
+    @property
+    def directory(self) -> str:
+        """Directory holding the checkpoint store and logical log."""
+        return self._directory
+
+    @property
+    def algorithm_name(self) -> str:
+        """Display name of the checkpointing algorithm in use."""
+        return self._policy.name
+
+    @property
+    def ticks_run(self) -> int:
+        """Number of ticks executed so far."""
+        return self._next_tick
+
+    @property
+    def last_committed_checkpoint_tick(self) -> Optional[int]:
+        """Cut tick of the newest durable checkpoint, if any."""
+        try:
+            if isinstance(self._store, DoubleBackupStore):
+                return self._store.latest_consistent().tick
+            return self._store.latest_committed()[1]
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # The tick loop
+    # ------------------------------------------------------------------
+
+    def submit_command(self, payload: bytes) -> None:
+        """Queue a client command for the next tick.
+
+        Commands are batched per tick, handed to the application's
+        :meth:`~repro.engine.app.TickApplication.plan_tick_with_commands`,
+        and durably logged so recovery replays them identically.
+        """
+        if not isinstance(payload, bytes):
+            raise EngineError(
+                f"commands are raw bytes, got {type(payload).__name__}"
+            )
+        self._pending_commands.append(payload)
+
+    @staticmethod
+    def _pack_commands(commands: List[bytes]) -> bytes:
+        """Length-prefix framing so a batch round-trips through one blob."""
+        parts = [len(commands).to_bytes(4, "little")]
+        for command in commands:
+            parts.append(len(command).to_bytes(4, "little"))
+            parts.append(command)
+        return b"".join(parts)
+
+    @staticmethod
+    def unpack_commands(blob: bytes) -> List[bytes]:
+        """Inverse of :meth:`_pack_commands` (used by applications)."""
+        if not blob:
+            return []
+        count = int.from_bytes(blob[:4], "little")
+        commands = []
+        offset = 4
+        for _ in range(count):
+            length = int.from_bytes(blob[offset: offset + 4], "little")
+            offset += 4
+            commands.append(blob[offset: offset + length])
+            offset += length
+        return commands
+
+    def run_tick(self) -> int:
+        """Execute one game tick; returns the number of cell updates."""
+        if self._crashed:
+            raise EngineError("server has crashed; recover it instead")
+        if self._closed:
+            raise EngineError("server is closed")
+        tick = self._next_tick
+        rng_state = self._rng.bit_generator.state
+        command_blob = self._pack_commands(self._pending_commands)
+        self._pending_commands = []
+
+        plan = self._app.plan_tick_with_commands(
+            self._table, self._rng, tick, command_blob
+        )
+        cell_index = self._table.geometry.cell_index(plan.rows, plan.columns)
+        objects = self._table.geometry.object_of_cell(np.asarray(cell_index))
+        unique_objects = np.unique(objects)
+
+        # Handle-Update runs before the updates land so old values survive.
+        self._framework.process_updates(unique_objects, plan.update_count)
+        self._table.apply_updates(plan.rows, plan.columns, plan.values)
+
+        # The tick is durable once its logical-log record is on disk.
+        self._action_log.append(
+            TickRecord(tick=tick, rng_state=rng_state,
+                       command_payload=command_blob)
+        )
+
+        # Asynchronous writer's share of this tick, then the tick boundary.
+        self._executor.drain()
+        self._executor.set_current_tick(tick)
+        allow_start = (
+            tick - self._last_checkpoint_start_tick
+            >= self._min_checkpoint_interval
+        )
+        boundary = self._framework.end_of_tick(allow_start=allow_start)
+        if boundary.started is not None:
+            self._last_checkpoint_start_tick = tick
+
+        self.stats.ticks_run += 1
+        self.stats.updates_applied += plan.update_count
+        if boundary.started is not None:
+            self.stats.checkpoints_started += 1
+        if boundary.finished is not None:
+            self.stats.checkpoints_completed += 1
+            self.stats.checkpoint_write_counts.append(
+                boundary.finished.write_count(self._table.geometry.num_objects)
+            )
+        self.stats.sync_copy_seconds = self._executor.sync_copy_seconds
+        self.stats.handle_update_seconds = self._executor.handle_update_seconds
+        self.stats.bytes_written = self._executor.bytes_written
+
+        self._next_tick += 1
+        return plan.update_count
+
+    def run_ticks(self, count: int) -> None:
+        """Execute ``count`` ticks."""
+        for _ in range(count):
+            self.run_tick()
+
+    # ------------------------------------------------------------------
+    # Failure and shutdown
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: abandon all in-memory state mid-flight.
+
+        Whatever reached the files stays; the in-progress checkpoint (if
+        any) is left uncommitted, exactly as a process kill would.
+        """
+        if self._closed:
+            raise EngineError("server is closed")
+        self._crashed = True
+        self._store.close()
+        self._action_log.close()
+
+    def close(self) -> None:
+        """Orderly shutdown (does not finish the in-flight checkpoint)."""
+        if self._closed:
+            return
+        if not self._crashed:
+            self._store.close()
+            self._action_log.close()
+        self._closed = True
+
+    def __enter__(self) -> "DurableGameServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class GeometryError(ConfigurationError):
+    """A state-geometry parameter (rows, columns, sizes) is invalid."""
+
+
+class TraceError(ReproError):
+    """An update trace is malformed or used incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The checkpoint simulator was driven into an invalid state."""
+
+
+class StorageError(ReproError):
+    """A stable-storage structure is corrupt or was misused."""
+
+
+class CorruptCheckpointError(StorageError):
+    """A checkpoint on disk failed validation (bad magic, CRC, or marker)."""
+
+
+class NoConsistentCheckpointError(StorageError):
+    """Recovery found no complete, consistent checkpoint on disk."""
+
+
+class RecoveryError(ReproError):
+    """Recovery could not reconstruct the pre-crash state."""
+
+
+class EngineError(ReproError):
+    """The durable game server was misused (bad lifecycle, double crash...)."""
+
+
+class ValidationError(ReproError):
+    """The real (threaded) validation implementation failed."""
+
+
+class GameError(ReproError):
+    """The Knights and Archers prototype game was misconfigured."""

@@ -1,0 +1,26 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module exposes a ``run(scale)`` function returning a
+:class:`~repro.experiments.common.FigureResult` whose ``render()`` prints the
+same rows/series the paper reports, annotated with the paper's published
+values for comparison.  ``python -m repro.experiments <id>`` runs any of them
+from the command line; the pytest benchmarks in ``benchmarks/`` wrap the same
+functions.
+"""
+
+from repro.experiments.common import (
+    FULL_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    FigureResult,
+)
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentScale",
+    "FULL_SCALE",
+    "FigureResult",
+    "QUICK_SCALE",
+    "run_experiment",
+]

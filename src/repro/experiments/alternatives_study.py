@@ -1,0 +1,138 @@
+"""Quantifying the paper's rejected alternatives (Sections 3.1 and 7).
+
+Two tables:
+
+* **physical logging** -- bandwidth an ARIES/fuzzy-checkpoint physical log
+  would need at each update rate, against the 60 MB/s recovery disk ("the
+  rate of local updates may be extremely large, and physically logging this
+  stream could easily exhaust the available disk bandwidth");
+* **K-safety vs checkpoint recovery** -- utilization and yearly downtime,
+  showing why the paper "follow[s] instead a checkpoint recovery model,
+  which increases utilization at a potential increase in recovery time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import TextTable
+from repro.config import PAPER_CONFIG
+from repro.experiments.common import (
+    DEFAULT_SKEW,
+    ExperimentScale,
+    FigureResult,
+    FULL_SCALE,
+)
+from repro.simulation.alternatives import (
+    assess_checkpoint_recovery,
+    assess_k_safety,
+    assess_physical_logging,
+)
+from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.units import format_rate
+from repro.workloads.zipf import ZipfTrace
+
+#: Fail-stop crashes per server-year; Schroeder & Gibson observe a wide
+#: range, the paper argues "there is more than adequate room" -- we take a
+#: pessimistic dozen.
+CRASHES_PER_YEAR = 12.0
+
+
+def run(scale: ExperimentScale = FULL_SCALE, seed: int = 0) -> FigureResult:
+    """Run the alternatives study at the configured scale."""
+    hardware = PAPER_CONFIG.hardware
+    geometry = PAPER_CONFIG.geometry
+
+    logging_table = TextTable(
+        "Physical logging (ARIES / fuzzy checkpointing) bandwidth demand",
+        ["updates/tick", "updates/s", "log bandwidth needed",
+         "fraction of 60 MB/s disk", "feasible"],
+    )
+    logging_raw = {}
+    for updates_per_tick in scale.updates_sweep:
+        assessment = assess_physical_logging(
+            updates_per_tick, hardware, geometry
+        )
+        logging_table.add_row(
+            [
+                f"{updates_per_tick:,}",
+                f"{assessment.updates_per_second:,.0f}",
+                format_rate(assessment.bytes_per_second_required),
+                f"{assessment.bandwidth_fraction:.2f}x",
+                "yes" if assessment.feasible else "NO",
+            ]
+        )
+        logging_raw[updates_per_tick] = {
+            "fraction": assessment.bandwidth_fraction,
+            "feasible": assessment.feasible,
+        }
+    logging_table.add_note(
+        "cheapest possible physical log: 4 B cell payload + 16 B framing "
+        "per update; ARIES also logs before-images and the checkpointer "
+        "still needs the same disk"
+    )
+
+    # Measured recovery time and overhead of the recommended method feed the
+    # availability comparison.
+    config = replace(PAPER_CONFIG, warmup_ticks=scale.warmup_ticks)
+    simulator = CheckpointSimulator(config)
+    trace = PrecomputedObjectTrace(
+        ZipfTrace(
+            geometry,
+            updates_per_tick=64_000,
+            skew=DEFAULT_SKEW,
+            num_ticks=scale.num_ticks,
+            seed=seed,
+        )
+    )
+    cou = simulator.run("copy-on-update", trace)
+    overhead_fraction = cou.avg_overhead / hardware.tick_duration
+
+    availability_table = TextTable(
+        "Checkpoint recovery vs K-safe replication "
+        f"({CRASHES_PER_YEAR:.0f} fail-stop crashes/server-year)",
+        ["strategy", "hardware utilization", "recovery per crash",
+         "downtime/year", "meets 99.99%"],
+    )
+    strategies = [
+        assess_checkpoint_recovery(
+            recovery_seconds=cou.recovery_time,
+            crashes_per_year=CRASHES_PER_YEAR,
+            overhead_fraction=overhead_fraction,
+        ),
+        assess_k_safety(2, CRASHES_PER_YEAR),
+        assess_k_safety(3, CRASHES_PER_YEAR),
+    ]
+    availability_raw = {}
+    for assessment in strategies:
+        availability_table.add_row(
+            [
+                assessment.strategy,
+                f"{assessment.utilization:.1%}",
+                f"{assessment.recovery_seconds:.2f} s",
+                f"{assessment.downtime_seconds_per_year:.1f} s",
+                "yes" if assessment.meets_four_nines() else "NO",
+            ]
+        )
+        availability_raw[assessment.strategy] = {
+            "utilization": assessment.utilization,
+            "downtime": assessment.downtime_seconds_per_year,
+            "four_nines": assessment.meets_four_nines(),
+        }
+    availability_table.add_note(
+        "Copy-on-Update's measured recovery time and per-tick overhead at "
+        "64,000 updates/tick; K-safety numbers assume 1 s failover and "
+        "charge only redundancy.  Both strategies clear the paper's 99.99% "
+        "bar -- checkpoint recovery does it at ~100% utilization, which is "
+        "the paper's argument for it."
+    )
+
+    return FigureResult(
+        experiment_id="alternatives",
+        description=(
+            "Why the paper rejects physical logging and defers K-safety "
+            "(Sections 3.1 and 7), quantified with the Table 3 constants"
+        ),
+        tables=[logging_table, availability_table],
+        raw={"logging": logging_raw, "availability": availability_raw},
+    )

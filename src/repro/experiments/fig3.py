@@ -1,0 +1,129 @@
+"""Figure 3: latency analysis -- tick lengths at 64,000 updates per tick.
+
+The paper plots the stretched tick length for ticks 55-110 of the simulation
+and a "latency limit" line at half a tick (16.7 ms at 30 Hz): eager-copy
+methods spike to ~50 ms (a 17 ms pause on top of the 33 ms tick) while
+copy-on-update methods decay from a 12 ms first-tick peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.analysis.ascii_chart import line_chart
+from repro.analysis.tables import TextTable
+from repro.config import PAPER_CONFIG, SimulationConfig
+from repro.experiments.common import (
+    DEFAULT_SKEW,
+    DEFAULT_UPDATES_PER_TICK,
+    ExperimentScale,
+    FigureResult,
+    FULL_SCALE,
+)
+from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.workloads.zipf import ZipfTrace
+
+#: The tick window the paper plots.
+WINDOW_START = 55
+WINDOW_STOP = 110
+
+
+def run(
+    scale: ExperimentScale = FULL_SCALE,
+    config: SimulationConfig = PAPER_CONFIG,
+    seed: int = 0,
+) -> FigureResult:
+    """Reproduce Figure 3 (per-tick latency timeline)."""
+    num_ticks = max(scale.num_ticks, WINDOW_STOP + 10)
+    config = replace(config, warmup_ticks=scale.warmup_ticks)
+    simulator = CheckpointSimulator(config)
+    trace = PrecomputedObjectTrace(
+        ZipfTrace(
+            config.geometry,
+            updates_per_tick=DEFAULT_UPDATES_PER_TICK,
+            skew=DEFAULT_SKEW,
+            num_ticks=num_ticks,
+            seed=seed,
+        )
+    )
+    results = simulator.run_all(trace)
+    limit = config.hardware.latency_limit
+    base = config.hardware.tick_duration
+
+    table = TextTable(
+        "Figure 3: tick-length peaks, 10M objects, 64K updates per tick",
+        [
+            "algorithm",
+            "max tick [ms]",
+            "peak pause [ms]",
+            "p50 ovh [ms]",
+            "p99 ovh [ms]",
+            "peak/median",
+            "ticks > limit",
+            "violates half-tick limit",
+        ],
+    )
+    series = {}
+    window = slice(WINDOW_START, WINDOW_STOP)
+    for result in results:
+        lengths = result.tick_length
+        over = int((result.tick_overhead > limit).sum())
+        concentration = result.overhead_concentration()
+        table.add_row(
+            [
+                result.algorithm_name,
+                f"{lengths.max() * 1e3:.1f}",
+                f"{result.max_overhead * 1e3:.1f}",
+                f"{result.overhead_percentile(50) * 1e3:.2f}",
+                f"{result.overhead_percentile(99) * 1e3:.2f}",
+                "inf" if concentration == float("inf")
+                else f"{concentration:.1f}x",
+                over,
+                "yes" if result.exceeds_latency_limit() else "no",
+            ]
+        )
+        series[result.algorithm_name] = lengths[window] * 1e3
+    table.add_note(
+        f"latency limit = half a tick = {limit * 1e3:.1f} ms on top of the "
+        f"{base * 1e3:.1f} ms tick"
+    )
+    table.add_note(
+        "paper: eager-copy methods stretch ticks by ~17 ms (to ~50 ms) and "
+        "violate the limit; copy-on-update methods peak at 12 ms on the "
+        "first tick after a checkpoint, then 7 ms, 4 ms, ..."
+    )
+
+    ticks = list(range(WINDOW_START, WINDOW_STOP))
+    chart = line_chart(
+        ticks,
+        {name: list(values) for name, values in series.items()},
+        log_y=False,
+        title=(
+            f"Figure 3: tick length [ms], ticks {WINDOW_START}-{WINDOW_STOP} "
+            f"(base {base * 1e3:.1f} ms, limit at {(base + limit) * 1e3:.1f} ms)"
+        ),
+        y_label="ms",
+    )
+
+    cou_peaks: List[float] = []
+    for result in results:
+        if result.algorithm_key == "copy-on-update":
+            # Overheads of the first ticks after each checkpoint start.
+            for record in result.checkpoints[1:4]:
+                start = record.start_tick + 1
+                cou_peaks.extend(
+                    result.tick_overhead[start: start + 3] * 1e3
+                )
+    figure = FigureResult(
+        experiment_id="fig3",
+        description="Latency analysis at 64,000 updates per tick",
+        tables=[table],
+        charts=[chart],
+        raw={
+            "per_tick_ms": {name: list(map(float, v)) for name, v in series.items()},
+            "cou_decay_ms": [float(v) for v in cou_peaks],
+            "results": {r.algorithm_key: r.summary() for r in results},
+        },
+    )
+    return figure

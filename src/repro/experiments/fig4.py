@@ -1,0 +1,121 @@
+"""Figure 4: effect of update skew at 64,000 updates per tick.
+
+"The primary effect of increasing the skew is to decrease the number of dirty
+objects."  Naive-Snapshot is unaffected; copy-on-update methods benefit most
+(fewer locks and old-value copies); the Partial-Redo pair's checkpoint and
+recovery times shrink with the dirty set but stay far above the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.analysis.ascii_chart import line_chart
+from repro.analysis.tables import TextTable
+from repro.config import PAPER_CONFIG, SimulationConfig
+from repro.core.registry import ALGORITHM_KEYS, algorithm_class
+from repro.experiments.common import (
+    DEFAULT_UPDATES_PER_TICK,
+    ExperimentScale,
+    FigureResult,
+    FULL_SCALE,
+    format_seconds,
+)
+from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.workloads.zipf import ZipfTrace
+
+
+def sweep_results(
+    scale: ExperimentScale,
+    config: SimulationConfig = PAPER_CONFIG,
+    updates_per_tick: int = DEFAULT_UPDATES_PER_TICK,
+    seed: int = 0,
+) -> Dict[float, List]:
+    """Run all six algorithms at every skew; returns skew -> results."""
+    config = replace(config, warmup_ticks=scale.warmup_ticks)
+    simulator = CheckpointSimulator(config)
+    results: Dict[float, List] = {}
+    for skew in scale.skew_sweep:
+        trace = PrecomputedObjectTrace(
+            ZipfTrace(
+                config.geometry,
+                updates_per_tick=updates_per_tick,
+                skew=skew,
+                num_ticks=scale.num_ticks,
+                seed=seed,
+            )
+        )
+        results[skew] = simulator.run_all(trace)
+    return results
+
+
+def _panel_table(title: str, results: Dict[float, List], metric) -> TextTable:
+    skews = sorted(results)
+    table = TextTable(title, ["algorithm"] + [f"{skew:g}" for skew in skews])
+    for index, key in enumerate(ALGORITHM_KEYS):
+        row = [algorithm_class(key).name]
+        for skew in skews:
+            row.append(format_seconds(metric(results[skew][index])))
+        table.add_row(row)
+    return table
+
+
+def _panel_chart(title: str, results: Dict[float, List], metric) -> str:
+    skews = sorted(results)
+    series = {}
+    for index, key in enumerate(ALGORITHM_KEYS):
+        series[algorithm_class(key).name] = [
+            max(metric(results[skew][index]), 1e-7) for skew in skews
+        ]
+    return line_chart(skews, series, title=title, y_label="sec")
+
+
+def run(scale: ExperimentScale = FULL_SCALE, seed: int = 0) -> FigureResult:
+    """Reproduce Figure 4 (all three panels)."""
+    results = sweep_results(scale, seed=seed)
+
+    overhead_table = _panel_table(
+        "Figure 4(a): skew vs avg overhead time", results,
+        lambda r: r.avg_overhead,
+    )
+    overhead_table.add_note(
+        "paper: Naive-Snapshot lowest and flat; other methods within 2.5x; "
+        "copy-on-update methods benefit most from skew"
+    )
+    checkpoint_table = _panel_table(
+        "Figure 4(b): skew vs avg time to checkpoint", results,
+        lambda r: r.avg_checkpoint_time,
+    )
+    checkpoint_table.add_note(
+        "paper: most methods similar; Partial-Redo pair's checkpoint time "
+        "decreases with skew (fewer dirty objects in the log)"
+    )
+    recovery_table = _panel_table(
+        "Figure 4(c): skew vs estimated recovery time", results,
+        lambda r: r.recovery_time,
+    )
+    recovery_table.add_note(
+        "paper: Partial-Redo pair decreases from ~7.3 s to ~6.3 s; all other "
+        "methods similar and far lower"
+    )
+
+    figure = FigureResult(
+        experiment_id="fig4",
+        description=(
+            "Overhead, checkpoint, and recovery times when varying the skew "
+            "(64,000 updates per tick)"
+        ),
+        tables=[overhead_table, checkpoint_table, recovery_table],
+        charts=[
+            _panel_chart("Figure 4(a) overhead [s]", results,
+                         lambda r: r.avg_overhead),
+            _panel_chart("Figure 4(c) recovery [s]", results,
+                         lambda r: r.recovery_time),
+        ],
+    )
+    figure.raw = {
+        skew: {r.algorithm_key: r.summary() for r in runs}
+        for skew, runs in results.items()
+    }
+    return figure

@@ -1,0 +1,17 @@
+"""The connection-server tier of the paper's Figure 1 architecture.
+
+"Clients join the virtual world through a connection server that connects
+them to a single shard."  This package models that tier in-process:
+
+* :class:`~repro.frontend.connection.ConnectionServer` -- client sessions,
+  command routing into the shard's durable command path, per-session rate
+  limiting, and trade routing to the persistence server;
+* :class:`~repro.frontend.clients.BotClient` /
+  :class:`~repro.frontend.clients.BotSwarm` -- a deterministic client-load
+  driver for exercising the full stack in examples and tests.
+"""
+
+from repro.frontend.clients import BotClient, BotSwarm
+from repro.frontend.connection import ConnectionServer, SessionError
+
+__all__ = ["BotClient", "BotSwarm", "ConnectionServer", "SessionError"]

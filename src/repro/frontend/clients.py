@@ -1,0 +1,132 @@
+"""Deterministic bot clients for load-driving the full stack.
+
+A :class:`BotSwarm` stands in for the paper's "tens of thousands of users":
+every tick each bot may issue a game command (heal, teleport, log in/out)
+through the connection server, and occasionally requests an ACID trade.  All
+randomness flows through one seeded generator, so a swarm-driven run is
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.frontend.connection import ConnectionServer, SessionError
+from repro.persistence.store import TransactionError
+
+
+@dataclass
+class BotClient:
+    """One scripted player."""
+
+    session_id: int
+    #: Game-world unit this bot "plays" (for unit-targeted commands).
+    unit_id: int
+    #: Persistence-server character id, when the bot owns an account.
+    character_id: Optional[int] = None
+
+
+class BotSwarm:
+    """A fleet of bots driving one connection server."""
+
+    def __init__(
+        self,
+        connection: ConnectionServer,
+        num_bots: int,
+        seed: int = 0,
+        command_probability: float = 0.3,
+        trade_probability: float = 0.02,
+        open_accounts: bool = True,
+        starting_gold: int = 200,
+    ) -> None:
+        if num_bots < 1:
+            raise SessionError(f"need at least one bot, got {num_bots}")
+        self._connection = connection
+        self._rng = np.random.default_rng(seed)
+        self._command_probability = command_probability
+        self._trade_probability = trade_probability
+        self.commands_attempted = 0
+        self.commands_dropped = 0
+        self.trades_attempted = 0
+        self.trades_completed = 0
+
+        geometry = connection.shard.game.table.geometry
+        self.bots: List[BotClient] = []
+        for index in range(num_bots):
+            session_id = connection.connect(f"bot-{index}")
+            unit_id = int(self._rng.integers(0, geometry.rows))
+            character_id = None
+            if open_accounts:
+                persistence = connection.shard.persistence
+                character_id = persistence.create_character(
+                    f"bot-{index}", gold=starting_gold
+                )
+                persistence.grant_item(character_id, "starter-token")
+            self.bots.append(
+                BotClient(
+                    session_id=session_id,
+                    unit_id=unit_id,
+                    character_id=character_id,
+                )
+            )
+
+    def _random_command(self, bot: BotClient) -> bytes:
+        geometry = self._connection.shard.game.table.geometry
+        roll = self._rng.random()
+        if roll < 0.4:
+            return f"heal:{bot.unit_id}".encode()
+        if roll < 0.7:
+            x = self._rng.random() * 100.0
+            y = self._rng.random() * 100.0
+            return f"teleport:{bot.unit_id}:{x:.1f}:{y:.1f}".encode()
+        if roll < 0.85:
+            return f"activate:{bot.unit_id}".encode()
+        target = int(self._rng.integers(0, geometry.rows))
+        return f"deactivate:{target}".encode()
+
+    def _maybe_trade(self, bot: BotClient) -> None:
+        if bot.character_id is None:
+            return
+        partner = self.bots[int(self._rng.integers(0, len(self.bots)))]
+        if partner.character_id is None or partner is bot:
+            return
+        store = self._connection.shard.persistence.store
+        inventory = store.items_of(bot.character_id)
+        if not inventory:
+            return
+        item = inventory[0]
+        price = int(self._rng.integers(1, 50))
+        self.trades_attempted += 1
+        try:
+            self._connection.request_trade(
+                bot.session_id, item.item_id,
+                seller_id=bot.character_id,
+                buyer_id=partner.character_id,
+                price=price,
+            )
+            self.trades_completed += 1
+        except TransactionError:
+            pass  # buyer broke; the economy rejected it atomically
+
+    def play_tick(self) -> int:
+        """Let every bot act, then advance the shard one tick."""
+        for bot in self.bots:
+            if self._rng.random() < self._command_probability:
+                self.commands_attempted += 1
+                try:
+                    self._connection.send_command(
+                        bot.session_id, self._random_command(bot)
+                    )
+                except SessionError:
+                    self.commands_dropped += 1
+            if self._rng.random() < self._trade_probability:
+                self._maybe_trade(bot)
+        return self._connection.run_tick()
+
+    def play_ticks(self, count: int) -> None:
+        """Run several swarm-driven ticks."""
+        for _ in range(count):
+            self.play_tick()

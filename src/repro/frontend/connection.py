@@ -1,0 +1,147 @@
+"""Connection server: sessions, command routing, and rate limiting.
+
+Clients never talk to the game server directly; a connection server
+authenticates them into *sessions* and forwards their commands into the
+shard's durable command path (where they are logged and replayed on
+recovery).  A per-session per-tick command budget models the flood control
+every production MMO frontend applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.engine.shard import MMOShard
+from repro.errors import ReproError
+from repro.persistence.server import TradeResult
+
+
+class SessionError(ReproError):
+    """A client session was missing, closed, or over its command budget."""
+
+
+@dataclass
+class ClientSession:
+    """One connected client."""
+
+    session_id: int
+    player_name: str
+    connected_at_tick: int
+    commands_sent: int = 0
+    trades_requested: int = 0
+    #: Commands forwarded during the current tick window (rate limiting).
+    commands_this_tick: int = 0
+
+
+@dataclass
+class ConnectionStats:
+    """Aggregate counters across all sessions."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    commands_routed: int = 0
+    commands_rejected: int = 0
+    trades_routed: int = 0
+
+
+class ConnectionServer:
+    """Routes clients into one shard (the middle tier of Figure 1)."""
+
+    def __init__(self, shard: MMOShard,
+                 commands_per_tick_limit: int = 16) -> None:
+        if commands_per_tick_limit < 1:
+            raise SessionError(
+                f"commands_per_tick_limit must be >= 1, got "
+                f"{commands_per_tick_limit}"
+            )
+        self._shard = shard
+        self._limit = commands_per_tick_limit
+        self._sessions: Dict[int, ClientSession] = {}
+        self._next_session_id = 1
+        self.stats = ConnectionStats()
+
+    @property
+    def shard(self) -> MMOShard:
+        """The shard this connection server fronts."""
+        return self._shard
+
+    @property
+    def session_count(self) -> int:
+        """Number of currently connected clients."""
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self, player_name: str) -> int:
+        """Open a session; returns its id."""
+        if not player_name:
+            raise SessionError("player_name must be non-empty")
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        self._sessions[session_id] = ClientSession(
+            session_id=session_id,
+            player_name=player_name,
+            connected_at_tick=self._shard.game.ticks_run,
+        )
+        self.stats.sessions_opened += 1
+        return session_id
+
+    def disconnect(self, session_id: int) -> None:
+        """Close a session; its queued commands still execute."""
+        self._require_session(session_id)
+        del self._sessions[session_id]
+        self.stats.sessions_closed += 1
+
+    def _require_session(self, session_id: int) -> ClientSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"no such session {session_id}")
+        return session
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def send_command(self, session_id: int, command: bytes) -> None:
+        """Forward one client command into the shard's durable command path.
+
+        Raises :class:`SessionError` when the session's per-tick budget is
+        exhausted (the command is dropped, as a flooding client's would be).
+        """
+        session = self._require_session(session_id)
+        if session.commands_this_tick >= self._limit:
+            self.stats.commands_rejected += 1
+            raise SessionError(
+                f"session {session_id} exceeded {self._limit} commands/tick"
+            )
+        self._shard.game.submit_command(command)
+        session.commands_this_tick += 1
+        session.commands_sent += 1
+        self.stats.commands_routed += 1
+
+    def request_trade(self, session_id: int, item_id: int, seller_id: int,
+                      buyer_id: int, price: int) -> TradeResult:
+        """Route an ACID trade to the persistence server."""
+        session = self._require_session(session_id)
+        result = self._shard.trade_item(item_id, seller_id, buyer_id, price)
+        session.trades_requested += 1
+        self.stats.trades_routed += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Tick integration
+    # ------------------------------------------------------------------
+
+    def run_tick(self) -> int:
+        """Advance the shard one tick and reset per-tick command budgets."""
+        updates = self._shard.run_tick()
+        for session in self._sessions.values():
+            session.commands_this_tick = 0
+        return updates
+
+    def session(self, session_id: int) -> ClientSession:
+        """Look up one session (for tests and tooling)."""
+        return self._require_session(session_id)

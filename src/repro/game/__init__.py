@@ -1,0 +1,32 @@
+"""The Knights and Archers prototype game server (paper Section 4.4).
+
+"A prototype game that simulates a medieval battle of the type common in many
+MMOs ... three types of characters: knights, archers, and healers, that are
+divided into two teams.  Each team has a home base, and the objective is to
+defeat as many enemies as possible.  Each unit is controlled by a simple
+decision tree.  Knights attempt to attack and pursue nearby targets, while
+healers attempt to heal their weakest allies.  Archers attempt to attack
+enemies while staying near allied units for support.  Furthermore, each unit
+tries to cluster with allies to form squads. ... 10% of the characters are
+active at any given moment and the active set changes over time."
+
+The game is a deterministic :class:`~repro.engine.app.TickApplication`, so it
+runs unchanged inside the durable engine (checkpointed, crashed, recovered)
+and standalone under :func:`~repro.game.recorder.record_trace` to produce the
+update traces the checkpoint simulator consumes (Section 5.4).
+"""
+
+from repro.game.columns import COLUMN_NAMES, Column
+from repro.game.knights_archers import KnightsArchersGame
+from repro.game.recorder import record_trace
+from repro.game.scenario import BattleScenario
+from repro.game.stats import BattleReport
+
+__all__ = [
+    "BattleReport",
+    "BattleScenario",
+    "COLUMN_NAMES",
+    "Column",
+    "KnightsArchersGame",
+    "record_trace",
+]

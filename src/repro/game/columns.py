@@ -1,0 +1,38 @@
+"""The 13 attribute columns of a Knights and Archers unit (Table 5)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Column(enum.IntEnum):
+    """Column indices into the game-state table (13 attributes per unit)."""
+
+    POS_X = 0
+    POS_Y = 1
+    HEALTH = 2
+    STATE = 3        # 0 = inactive (logged off), 1 = active
+    TEAM = 4         # 0 or 1
+    UNIT_TYPE = 5    # see UnitType
+    TARGET = 6       # row id of the current target, -1 if none
+    COOLDOWN = 7     # ticks until the unit may attack again
+    STAMINA = 8      # drains while moving, recovers at rest
+    KILLS = 9        # enemies defeated
+    DAMAGE_DEALT = 10
+    HEALING_DONE = 11
+    MORALE = 12      # drifts with nearby ally density
+
+
+class UnitType(enum.IntEnum):
+    """The three character classes of the prototype game."""
+
+    KNIGHT = 0
+    ARCHER = 1
+    HEALER = 2
+
+
+#: Human-readable column names, index-aligned with :class:`Column`.
+COLUMN_NAMES = tuple(column.name.lower() for column in Column)
+
+#: Number of attribute columns (must match GAME_GEOMETRY.columns).
+NUM_COLUMNS = len(Column)

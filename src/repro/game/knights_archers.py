@@ -1,0 +1,716 @@
+"""The Knights and Archers battle simulation (vectorized, deterministic).
+
+Behaviour follows the paper's description of the prototype game:
+
+* two teams with home bases; knights pursue and attack nearby enemies,
+  archers attack from range while staying near allies, healers heal their
+  weakest allies; units cluster with allies to form squads;
+* only ~10% of units are active at once, and the active set is completely
+  renewed every ~100 ticks;
+* movement dominates the update stream and often touches "only one
+  dimension" -- units walk in axis-aligned grid steps, so a moving unit
+  updates exactly one position cell per tick.
+
+Everything a unit is lives in the 13 table columns (:class:`Column`), and all
+randomness flows through the generator handed to :meth:`plan_tick`, so the
+game replays bit-identically after crash recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.engine.app import TickApplication, TickUpdatesPlan
+from repro.errors import GameError
+from repro.game.columns import Column, UnitType
+from repro.game.scenario import BattleScenario
+from repro.state.table import GameStateTable
+
+_NO_TARGET = -1.0
+
+
+class _UpdateBuilder:
+    """Accumulates (row, column, value) updates in application order."""
+
+    def __init__(self) -> None:
+        self._rows: List[np.ndarray] = []
+        self._columns: List[np.ndarray] = []
+        self._values: List[np.ndarray] = []
+
+    def emit(self, rows: np.ndarray, column: int, values) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        self._rows.append(rows)
+        self._columns.append(np.full(rows.size, int(column), dtype=np.int64))
+        self._values.append(
+            np.broadcast_to(np.asarray(values, dtype=np.float32), rows.shape).copy()
+        )
+
+    def build(self) -> TickUpdatesPlan:
+        if not self._rows:
+            return TickUpdatesPlan.empty(np.float32)
+        return TickUpdatesPlan(
+            rows=np.concatenate(self._rows),
+            columns=np.concatenate(self._columns),
+            values=np.concatenate(self._values),
+        )
+
+
+class KnightsArchersGame(TickApplication):
+    """The medieval-battle prototype game as a durable tick application."""
+
+    def __init__(self, scenario: BattleScenario = None) -> None:
+        self._scenario = scenario if scenario is not None else BattleScenario()
+
+    @property
+    def scenario(self) -> BattleScenario:
+        """The battle configuration."""
+        return self._scenario
+
+    @property
+    def geometry(self):
+        return self._scenario.geometry
+
+    @property
+    def dtype(self):
+        return np.float32
+
+    # ------------------------------------------------------------------
+    # World setup
+    # ------------------------------------------------------------------
+
+    def initialize(self, table: GameStateTable, rng: np.random.Generator) -> None:
+        scenario = self._scenario
+        n = scenario.num_units
+        if table.geometry != scenario.geometry:
+            raise GameError("table geometry does not match the scenario")
+        cells = table.cells
+        unit_ids = np.arange(n)
+
+        team = (unit_ids % 2).astype(np.float32)
+        cells[:, Column.TEAM] = team
+
+        # Class mix, assigned by shuffled quantile so each team gets the
+        # configured fractions of knights/archers/healers.
+        mix = rng.permutation(n).astype(np.float64) / n
+        unit_type = np.where(
+            mix < scenario.knight_fraction,
+            float(UnitType.KNIGHT),
+            np.where(
+                mix < scenario.knight_fraction + scenario.archer_fraction,
+                float(UnitType.ARCHER),
+                float(UnitType.HEALER),
+            ),
+        )
+        cells[:, Column.UNIT_TYPE] = unit_type.astype(np.float32)
+
+        # Spawn in a cloud around each team's home base.
+        size = scenario.arena_size
+        spread = 0.12 * size
+        for team_id in (0, 1):
+            members = np.flatnonzero(team == team_id)
+            base_x, base_y = scenario.base_position(team_id)
+            cells[members, Column.POS_X] = np.clip(
+                base_x + rng.normal(0.0, spread, members.size), 0.0, size
+            ).astype(np.float32)
+            cells[members, Column.POS_Y] = np.clip(
+                base_y + rng.normal(0.0, spread, members.size), 0.0, size
+            ).astype(np.float32)
+
+        cells[:, Column.HEALTH] = scenario.max_health
+        cells[:, Column.TARGET] = _NO_TARGET
+        cells[:, Column.COOLDOWN] = 0.0
+        cells[:, Column.STAMINA] = 100.0
+        cells[:, Column.KILLS] = 0.0
+        cells[:, Column.DAMAGE_DEALT] = 0.0
+        cells[:, Column.HEALING_DONE] = 0.0
+        cells[:, Column.MORALE] = 50.0
+
+        # Log in the initial active set.
+        active_count = max(1, int(round(scenario.active_fraction * n)))
+        active = rng.permutation(n)[:active_count]
+        cells[:, Column.STATE] = 0.0
+        cells[active, Column.STATE] = 1.0
+
+    # ------------------------------------------------------------------
+    # Client commands
+    # ------------------------------------------------------------------
+
+    def plan_tick_with_commands(
+        self, table: GameStateTable, rng: np.random.Generator, tick: int,
+        commands: bytes,
+    ) -> TickUpdatesPlan:
+        """Plan a tick including this tick's client commands.
+
+        Supported commands (ASCII, ignored if malformed or out of range):
+
+        * ``heal:<unit>`` -- restore a unit to full health (GM heal);
+        * ``teleport:<unit>:<x>:<y>`` -- move a unit instantly;
+        * ``activate:<unit>`` / ``deactivate:<unit>`` -- log a unit in/out.
+        """
+        from repro.engine.server import DurableGameServer
+
+        plan = self.plan_tick(table, rng, tick)
+        command_list = DurableGameServer.unpack_commands(commands)
+        if not command_list:
+            return plan
+        builder = _UpdateBuilder()
+        for command in command_list:
+            self._apply_command(table, builder, command)
+        command_plan = builder.build()
+        # Command effects land after the tick's simulation updates.
+        return TickUpdatesPlan(
+            rows=np.concatenate([plan.rows, command_plan.rows]),
+            columns=np.concatenate([plan.columns, command_plan.columns]),
+            values=np.concatenate([plan.values, command_plan.values]),
+        )
+
+    def _apply_command(self, table: GameStateTable, builder: "_UpdateBuilder",
+                       command: bytes) -> None:
+        scenario = self._scenario
+        try:
+            parts = command.decode("ascii").split(":")
+        except UnicodeDecodeError:
+            return
+        if not parts:
+            return
+        verb, args = parts[0], parts[1:]
+        try:
+            if verb == "heal" and len(args) == 1:
+                unit = int(args[0])
+                if 0 <= unit < scenario.num_units:
+                    builder.emit(np.array([unit]), Column.HEALTH,
+                                 float(scenario.max_health))
+            elif verb == "teleport" and len(args) == 3:
+                unit = int(args[0])
+                x, y = float(args[1]), float(args[2])
+                size = scenario.arena_size
+                if 0 <= unit < scenario.num_units:
+                    builder.emit(np.array([unit]), Column.POS_X,
+                                 float(np.clip(x, 0.0, size)))
+                    builder.emit(np.array([unit]), Column.POS_Y,
+                                 float(np.clip(y, 0.0, size)))
+            elif verb in ("activate", "deactivate") and len(args) == 1:
+                unit = int(args[0])
+                if 0 <= unit < scenario.num_units:
+                    builder.emit(np.array([unit]), Column.STATE,
+                                 1.0 if verb == "activate" else 0.0)
+        except ValueError:
+            return  # malformed number: drop the command
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+
+    def plan_tick(
+        self, table: GameStateTable, rng: np.random.Generator, tick: int
+    ) -> TickUpdatesPlan:
+        scenario = self._scenario
+        cells = table.cells
+        builder = _UpdateBuilder()
+
+        active = np.flatnonzero(cells[:, Column.STATE] > 0.5)
+        inactive = np.flatnonzero(cells[:, Column.STATE] <= 0.5)
+
+        actors = self._churn(rng, builder, active, inactive)
+        if actors.size == 0:
+            return builder.build()
+
+        active_mask = np.zeros(scenario.num_units, dtype=bool)
+        active_mask[actors] = True
+
+        team = cells[actors, Column.TEAM]
+        unit_type = cells[actors, Column.UNIT_TYPE]
+        pos_x = cells[actors, Column.POS_X]
+        pos_y = cells[actors, Column.POS_Y]
+        cooldown = cells[actors, Column.COOLDOWN]
+
+        target = self._acquire_targets(
+            rng, builder, cells, actors, active_mask, team, unit_type,
+            pos_x, pos_y,
+        )
+
+        attack_mask, damage_by_victim = self._combat(
+            builder, cells, actors, target, unit_type, pos_x, pos_y, cooldown
+        )
+        heal_by_unit, heal_moves = self._heal(
+            rng, builder, cells, actors, team, unit_type, pos_x, pos_y
+        )
+        died = self._apply_health(
+            rng, builder, cells, actors, target, attack_mask,
+            damage_by_victim, heal_by_unit,
+        )
+        self._movement(
+            rng, builder, cells, actors, target, unit_type, team,
+            pos_x, pos_y, attack_mask, heal_moves, died,
+        )
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Decision-tree stages
+    # ------------------------------------------------------------------
+
+    def _churn(
+        self,
+        rng: np.random.Generator,
+        builder: _UpdateBuilder,
+        active: np.ndarray,
+        inactive: np.ndarray,
+    ) -> np.ndarray:
+        """Swap a slice of the active set; returns this tick's actors."""
+        scenario = self._scenario
+        swap_count = min(
+            rng.binomial(active.size, scenario.swap_fraction), inactive.size
+        )
+        if swap_count == 0:
+            return active
+        leave_slots = rng.choice(active.size, size=swap_count, replace=False)
+        join_slots = rng.choice(inactive.size, size=swap_count, replace=False)
+        leavers = active[leave_slots]
+        joiners = inactive[join_slots]
+        builder.emit(leavers, Column.STATE, 0.0)
+        builder.emit(joiners, Column.STATE, 1.0)
+        # Joiners act from the next tick; leavers are gone immediately.
+        return np.delete(active, leave_slots)
+
+    def _acquire_targets(
+        self,
+        rng: np.random.Generator,
+        builder: _UpdateBuilder,
+        cells: np.ndarray,
+        actors: np.ndarray,
+        active_mask: np.ndarray,
+        team: np.ndarray,
+        unit_type: np.ndarray,
+        pos_x: np.ndarray,
+        pos_y: np.ndarray,
+    ) -> np.ndarray:
+        """Validate persisted targets; sample new ones for fighters."""
+        scenario = self._scenario
+        target = cells[actors, Column.TARGET].astype(np.int64)
+
+        clipped = np.clip(target, 0, None)
+        valid = (
+            (target >= 0)
+            & active_mask[clipped]
+            & (cells[clipped, Column.TEAM] != team)
+        )
+        fighters = unit_type != float(UnitType.HEALER)
+        needs_target = fighters & ~valid
+
+        new_target = np.where(valid & fighters, target, _NO_TARGET).astype(np.int64)
+
+        for team_id in (0, 1):
+            seekers = np.flatnonzero(needs_target & (team == team_id))
+            if seekers.size == 0:
+                continue
+            enemy_pool = actors[team != team_id]
+            if enemy_pool.size == 0:
+                continue
+            samples = rng.integers(
+                0, enemy_pool.size,
+                size=(seekers.size, scenario.candidate_samples),
+            )
+            candidates = enemy_pool[samples]
+            dx = cells[candidates, Column.POS_X] - pos_x[seekers, None]
+            dy = cells[candidates, Column.POS_Y] - pos_y[seekers, None]
+            distance_sq = dx * dx + dy * dy
+            best = np.argmin(distance_sq, axis=1)
+            chosen = candidates[np.arange(seekers.size), best]
+            best_distance_sq = distance_sq[np.arange(seekers.size), best]
+            in_range = best_distance_sq <= scenario.aggro_range**2
+            new_target[seekers[in_range]] = chosen[in_range]
+
+        changed = new_target != target
+        builder.emit(
+            actors[changed], Column.TARGET, new_target[changed].astype(np.float32)
+        )
+        return new_target
+
+    def _combat(
+        self,
+        builder: _UpdateBuilder,
+        cells: np.ndarray,
+        actors: np.ndarray,
+        target: np.ndarray,
+        unit_type: np.ndarray,
+        pos_x: np.ndarray,
+        pos_y: np.ndarray,
+        cooldown: np.ndarray,
+    ):
+        """Attacks, cooldowns, and damage accounting."""
+        scenario = self._scenario
+        has_target = target >= 0
+        clipped = np.clip(target, 0, None)
+        dx = cells[clipped, Column.POS_X] - pos_x
+        dy = cells[clipped, Column.POS_Y] - pos_y
+        distance = np.hypot(dx, dy)
+
+        is_knight = unit_type == float(UnitType.KNIGHT)
+        is_archer = unit_type == float(UnitType.ARCHER)
+        ready = cooldown <= 0.0
+        knight_attacks = is_knight & has_target & ready & (
+            distance <= scenario.melee_range
+        )
+        archer_attacks = is_archer & has_target & ready & (
+            distance <= scenario.arrow_range
+        )
+        attack_mask = knight_attacks | archer_attacks
+
+        damage_by_victim = np.zeros(scenario.num_units, dtype=np.float64)
+        damage_dealt = np.zeros(actors.size, dtype=np.float64)
+        if attack_mask.any():
+            knight_victims = target[knight_attacks]
+            np.add.at(damage_by_victim, knight_victims, scenario.knight_damage)
+            damage_dealt[knight_attacks] = scenario.knight_damage
+            archer_victims = target[archer_attacks]
+            np.add.at(damage_by_victim, archer_victims, scenario.archer_damage)
+            damage_dealt[archer_attacks] = scenario.archer_damage
+
+            attackers = np.flatnonzero(attack_mask)
+            builder.emit(
+                actors[attackers],
+                Column.COOLDOWN,
+                float(scenario.attack_cooldown_ticks),
+            )
+            builder.emit(
+                actors[attackers],
+                Column.DAMAGE_DEALT,
+                (
+                    cells[actors[attackers], Column.DAMAGE_DEALT]
+                    + damage_dealt[attackers]
+                ).astype(np.float32),
+            )
+
+        cooling = np.flatnonzero(cooldown > 0.0)
+        if cooling.size:
+            builder.emit(
+                actors[cooling],
+                Column.COOLDOWN,
+                (cooldown[cooling] - 1.0).astype(np.float32),
+            )
+        return attack_mask, damage_by_victim
+
+    def _heal(
+        self,
+        rng: np.random.Generator,
+        builder: _UpdateBuilder,
+        cells: np.ndarray,
+        actors: np.ndarray,
+        team: np.ndarray,
+        unit_type: np.ndarray,
+        pos_x: np.ndarray,
+        pos_y: np.ndarray,
+    ):
+        """Healers pick their weakest sampled ally; returns heal amounts and
+        each healer's movement destination."""
+        scenario = self._scenario
+        heal_by_unit = np.zeros(scenario.num_units, dtype=np.float64)
+        mover_slots: List[np.ndarray] = []
+        mover_wards: List[np.ndarray] = []
+        is_healer = unit_type == float(UnitType.HEALER)
+        for team_id in (0, 1):
+            healers = np.flatnonzero(is_healer & (team == team_id))
+            if healers.size == 0:
+                continue
+            ally_pool = actors[(team == team_id)]
+            if ally_pool.size <= 1:
+                continue
+            samples = rng.integers(
+                0, ally_pool.size,
+                size=(healers.size, scenario.candidate_samples),
+            )
+            candidates = ally_pool[samples]
+            weakest_slot = np.argmin(cells[candidates, Column.HEALTH], axis=1)
+            weakest = candidates[np.arange(healers.size), weakest_slot]
+            hurt = cells[weakest, Column.HEALTH] < scenario.max_health
+            dx = cells[weakest, Column.POS_X] - pos_x[healers]
+            dy = cells[weakest, Column.POS_Y] - pos_y[healers]
+            in_range = np.hypot(dx, dy) <= scenario.heal_range
+            healing = hurt & in_range
+            np.add.at(heal_by_unit, weakest[healing], scenario.heal_amount)
+            casters = actors[healers[healing]]
+            builder.emit(
+                casters,
+                Column.HEALING_DONE,
+                (
+                    cells[casters, Column.HEALING_DONE] + scenario.heal_amount
+                ).astype(np.float32),
+            )
+            mover_slots.append(healers[hurt])
+            mover_wards.append(weakest[hurt])
+        if mover_slots:
+            heal_moves = (
+                np.concatenate(mover_slots), np.concatenate(mover_wards)
+            )
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            heal_moves = (empty, empty)
+        return heal_by_unit, heal_moves
+
+    def _apply_health(
+        self,
+        rng: np.random.Generator,
+        builder: _UpdateBuilder,
+        cells: np.ndarray,
+        actors: np.ndarray,
+        target: np.ndarray,
+        attack_mask: np.ndarray,
+        damage_by_victim: np.ndarray,
+        heal_by_unit: np.ndarray,
+    ) -> np.ndarray:
+        """Net health changes, deaths, kill credit, and respawns at base."""
+        scenario = self._scenario
+        delta = heal_by_unit - damage_by_victim
+        changed = np.flatnonzero(delta != 0.0)
+        if changed.size == 0:
+            return np.empty(0, dtype=np.int64)
+        new_health = np.minimum(
+            cells[changed, Column.HEALTH] + delta[changed], scenario.max_health
+        ).astype(np.float32)
+        builder.emit(changed, Column.HEALTH, new_health)
+
+        died = changed[new_health <= 0.0]
+        if died.size == 0:
+            return died
+
+        # Kill credit and target reset for attackers whose victim fell.
+        died_mask = np.zeros(scenario.num_units, dtype=bool)
+        died_mask[died] = True
+        killer_slots = np.flatnonzero(
+            attack_mask & (target >= 0) & died_mask[np.clip(target, 0, None)]
+        )
+        if killer_slots.size:
+            killers = actors[killer_slots]
+            builder.emit(
+                killers,
+                Column.KILLS,
+                (cells[killers, Column.KILLS] + 1.0).astype(np.float32),
+            )
+            builder.emit(killers, Column.TARGET, _NO_TARGET)
+            builder.emit(
+                killers,
+                Column.MORALE,
+                np.minimum(
+                    cells[killers, Column.MORALE] + 2.0, 100.0
+                ).astype(np.float32),
+            )
+
+        # Respawn the fallen at their home base with full health.
+        size = scenario.arena_size
+        for team_id in (0, 1):
+            fallen = died[cells[died, Column.TEAM] == team_id]
+            if fallen.size == 0:
+                continue
+            base_x, base_y = scenario.base_position(team_id)
+            jitter = 0.02 * size
+            builder.emit(
+                fallen,
+                Column.POS_X,
+                np.clip(
+                    base_x + rng.normal(0.0, jitter, fallen.size), 0.0, size
+                ).astype(np.float32),
+            )
+            builder.emit(
+                fallen,
+                Column.POS_Y,
+                np.clip(
+                    base_y + rng.normal(0.0, jitter, fallen.size), 0.0, size
+                ).astype(np.float32),
+            )
+        builder.emit(died, Column.HEALTH, float(scenario.max_health))
+        builder.emit(
+            died,
+            Column.MORALE,
+            np.maximum(cells[died, Column.MORALE] - 5.0, 0.0).astype(np.float32),
+        )
+        builder.emit(died, Column.TARGET, _NO_TARGET)
+        return died
+
+    def _movement(
+        self,
+        rng: np.random.Generator,
+        builder: _UpdateBuilder,
+        cells: np.ndarray,
+        actors: np.ndarray,
+        target: np.ndarray,
+        unit_type: np.ndarray,
+        team: np.ndarray,
+        pos_x: np.ndarray,
+        pos_y: np.ndarray,
+        attack_mask: np.ndarray,
+        heal_moves: dict,
+        died: np.ndarray,
+    ) -> None:
+        """Axis-aligned grid steps toward each unit's destination.
+
+        Movement "possibly only in one dimension" per tick keeps the update
+        stream shaped like the paper's trace: one position cell per mover.
+        """
+        scenario = self._scenario
+        size = scenario.arena_size
+
+        destination_x = np.full(actors.size, np.nan)
+        destination_y = np.full(actors.size, np.nan)
+
+        has_target = target >= 0
+        clipped = np.clip(target, 0, None)
+        destination_x[has_target] = cells[clipped[has_target], Column.POS_X]
+        destination_y[has_target] = cells[clipped[has_target], Column.POS_Y]
+
+        # Fighters without a target drift toward the enemy base to find one.
+        fighters = unit_type != float(UnitType.HEALER)
+        wanderers = fighters & ~has_target
+        for team_id in (0, 1):
+            group = wanderers & (team == team_id)
+            if not group.any():
+                continue
+            base_x, base_y = scenario.base_position(1 - team_id)
+            destination_x[group] = base_x
+            destination_y[group] = base_y
+
+        # Broken units rout: low morale overrides everything and sends the
+        # unit back to its own base to regroup.
+        routing = cells[actors, Column.MORALE] < 30.0
+        for team_id in (0, 1):
+            group = routing & (team == team_id)
+            if not group.any():
+                continue
+            base_x, base_y = scenario.base_position(team_id)
+            destination_x[group] = base_x
+            destination_y[group] = base_y
+
+        # Healers walk toward their chosen ward.
+        healer_slots, wards = heal_moves
+        if healer_slots.size:
+            destination_x[healer_slots] = cells[wards, Column.POS_X]
+            destination_y[healer_slots] = cells[wards, Column.POS_Y]
+
+        # Squad cohesion: blend each unit's destination toward the position
+        # of a random sampled ally.
+        has_destination = ~np.isnan(destination_x)
+        cohesive = np.flatnonzero(has_destination)
+        if cohesive.size:
+            ally_samples = actors[
+                rng.integers(0, actors.size, size=cohesive.size)
+            ]
+            same_team = cells[ally_samples, Column.TEAM] == team[cohesive]
+            blend = scenario.squad_cohesion * same_team
+            destination_x[cohesive] += blend * (
+                cells[ally_samples, Column.POS_X] - destination_x[cohesive]
+            )
+            destination_y[cohesive] += blend * (
+                cells[ally_samples, Column.POS_Y] - destination_y[cohesive]
+            )
+
+        dx = destination_x - pos_x
+        dy = destination_y - pos_y
+        distance = np.hypot(dx, dy)
+
+        speed = np.where(
+            unit_type == float(UnitType.KNIGHT),
+            scenario.knight_speed,
+            np.where(
+                unit_type == float(UnitType.ARCHER),
+                scenario.archer_speed,
+                scenario.healer_speed,
+            ),
+        )
+
+        # Archers kite: if the target is inside the kite ring, step away.
+        is_archer = unit_type == float(UnitType.ARCHER)
+        kiting = is_archer & has_target & (distance < scenario.kite_range)
+        # Archers hold position inside their firing band.
+        holding = (
+            is_archer
+            & has_target
+            & (distance >= scenario.kite_range)
+            & (distance <= scenario.arrow_range)
+        )
+
+        moving = (
+            has_destination
+            & ~attack_mask
+            & ~holding
+            & (distance > scenario.melee_range * 0.5)
+        )
+        died_mask = np.zeros(scenario.num_units, dtype=bool)
+        died_mask[died] = True
+        moving &= ~died_mask[actors]  # the fallen respawned this tick
+        if not moving.any():
+            return
+
+        direction = np.where(kiting, -1.0, 1.0)
+        move_slots = np.flatnonzero(moving)
+        # Grid step: advance along the dominant axis only.
+        dominant_x = np.abs(dx[move_slots]) >= np.abs(dy[move_slots])
+        x_movers = move_slots[dominant_x]
+        y_movers = move_slots[~dominant_x]
+        if x_movers.size:
+            new_x = np.clip(
+                pos_x[x_movers]
+                + np.sign(dx[x_movers])
+                * speed[x_movers]
+                * direction[x_movers],
+                0.0,
+                size,
+            ).astype(np.float32)
+            builder.emit(actors[x_movers], Column.POS_X, new_x)
+        if y_movers.size:
+            new_y = np.clip(
+                pos_y[y_movers]
+                + np.sign(dy[y_movers])
+                * speed[y_movers]
+                * direction[y_movers],
+                0.0,
+                size,
+            ).astype(np.float32)
+            builder.emit(actors[y_movers], Column.POS_Y, new_y)
+
+        # Routed units that make it home regroup: morale climbs back until
+        # they rejoin the fight.
+        if routing.any():
+            for team_id in (0, 1):
+                base_x, base_y = scenario.base_position(team_id)
+                home = routing & (team == team_id) & (
+                    np.hypot(pos_x - base_x, pos_y - base_y) < 12.0
+                )
+                recovering = np.flatnonzero(home)
+                if recovering.size:
+                    builder.emit(
+                        actors[recovering],
+                        Column.MORALE,
+                        np.minimum(
+                            cells[actors[recovering], Column.MORALE] + 2.0,
+                            50.0,
+                        ).astype(np.float32),
+                    )
+
+        # Stamina drains for sprinters (kiting archers), recovers for the
+        # idle -- sparse updates so health-like attributes stay "relatively
+        # stable" as in the paper's trace.
+        sprinters = np.flatnonzero(kiting & moving)
+        if sprinters.size:
+            builder.emit(
+                actors[sprinters],
+                Column.STAMINA,
+                np.maximum(
+                    cells[actors[sprinters], Column.STAMINA] - 1.0, 0.0
+                ).astype(np.float32),
+            )
+        resting = np.flatnonzero(
+            ~moving
+            & ~attack_mask
+            & (cells[actors, Column.STAMINA] < 100.0)
+        )
+        if resting.size:
+            builder.emit(
+                actors[resting],
+                Column.STAMINA,
+                np.minimum(
+                    cells[actors[resting], Column.STAMINA] + 0.5, 100.0
+                ).astype(np.float32),
+            )

@@ -1,0 +1,45 @@
+"""Instrumented game runs: turn a battle into an update trace.
+
+"We have instrumented this game to log every update to a trace file, which we
+then use as input to our checkpoint simulator." (Section 4.4.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.app import TickApplication
+from repro.state.table import GameStateTable
+from repro.workloads.base import MaterializedTrace
+
+
+def record_trace(
+    app: TickApplication,
+    num_ticks: int,
+    seed: int = 0,
+    table: Optional[GameStateTable] = None,
+) -> MaterializedTrace:
+    """Run ``app`` standalone for ``num_ticks`` and log every cell update.
+
+    The returned trace is exactly what the checkpoint simulator consumes: one
+    array of flat cell indices per tick, in update order with duplicates.
+    Pass a ``table`` to keep the final game state (e.g. to also report battle
+    statistics); otherwise a fresh one is created and discarded.
+    """
+    geometry = app.geometry
+    if table is None:
+        table = GameStateTable(geometry, dtype=app.dtype)
+    rng = np.random.default_rng(seed)
+    app.initialize(table, rng)
+
+    tick_updates: List[np.ndarray] = []
+    for tick in range(num_ticks):
+        plan = app.plan_tick(table, rng, tick)
+        cell_index = geometry.cell_index(
+            np.asarray(plan.rows), np.asarray(plan.columns)
+        )
+        tick_updates.append(np.asarray(cell_index, dtype=np.int64))
+        table.apply_updates(plan.rows, plan.columns, plan.values)
+    return MaterializedTrace(geometry, tick_updates)

@@ -1,0 +1,95 @@
+"""Battle scenario configuration for the Knights and Archers game."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import StateGeometry
+from repro.errors import GameError
+from repro.game.columns import NUM_COLUMNS
+
+
+@dataclass(frozen=True)
+class BattleScenario:
+    """Tunable parameters of one medieval battle.
+
+    The defaults reproduce the paper's active-set statistics: 10% of units
+    active, with the active set "completely renewed every 100 ticks with high
+    probability" (4.5% of the active set swapped per tick gives a ~1% chance
+    of surviving 100 ticks).  ``num_units`` defaults to a Python-friendly
+    8,192; pass 400,128 for the paper's full-scale trace geometry
+    (:data:`repro.config.GAME_GEOMETRY`).
+    """
+
+    num_units: int = 8_192
+    #: Fraction of units logged in (acting) at any moment.
+    active_fraction: float = 0.10
+    #: Fraction of the active set swapped out each tick.
+    swap_fraction: float = 0.045
+    #: Class mix (knights, archers, healers); must sum to 1.
+    knight_fraction: float = 0.5
+    archer_fraction: float = 0.3
+    #: Combat tuning.
+    max_health: float = 100.0
+    knight_damage: float = 9.0
+    archer_damage: float = 5.0
+    heal_amount: float = 7.0
+    attack_cooldown_ticks: int = 6
+    #: Movement tuning (distance units per tick).
+    knight_speed: float = 2.0
+    archer_speed: float = 2.4
+    healer_speed: float = 2.2
+    #: Interaction radii.
+    melee_range: float = 3.0
+    arrow_range: float = 18.0
+    kite_range: float = 8.0
+    heal_range: float = 14.0
+    aggro_range: float = 60.0
+    #: How many random candidates a unit samples when choosing a target/ally.
+    candidate_samples: int = 4
+    #: Pull toward the sampled ally centroid ("cluster with allies").
+    squad_cohesion: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_units < 2:
+            raise GameError(f"need at least 2 units, got {self.num_units}")
+        if not 0.0 < self.active_fraction <= 1.0:
+            raise GameError(
+                f"active_fraction must be in (0, 1], got {self.active_fraction}"
+            )
+        if not 0.0 <= self.swap_fraction <= 1.0:
+            raise GameError(
+                f"swap_fraction must be in [0, 1], got {self.swap_fraction}"
+            )
+        if self.knight_fraction + self.archer_fraction > 1.0:
+            raise GameError("class fractions exceed 1")
+        if self.max_health <= 0:
+            raise GameError(f"max_health must be positive, got {self.max_health}")
+
+    @property
+    def healer_fraction(self) -> float:
+        """Fraction of units that are healers (the remainder of the mix)."""
+        return 1.0 - self.knight_fraction - self.archer_fraction
+
+    @property
+    def arena_size(self) -> float:
+        """Side length of the square battlefield, scaled to unit density."""
+        return max(100.0, 4.0 * math.sqrt(float(self.num_units)))
+
+    @property
+    def geometry(self) -> StateGeometry:
+        """State-table geometry for this scenario (num_units x 13)."""
+        return StateGeometry(rows=self.num_units, columns=NUM_COLUMNS)
+
+    def base_position(self, team: int) -> tuple:
+        """Home-base coordinates for ``team`` (0 or 1)."""
+        if team not in (0, 1):
+            raise GameError(f"team must be 0 or 1, got {team}")
+        size = self.arena_size
+        corner = 0.18 * size if team == 0 else 0.82 * size
+        return (corner, corner)
+
+
+#: The paper's full-scale trace shape: 400,128 units x 13 attributes.
+PAPER_SCALE_SCENARIO = BattleScenario(num_units=400_128)

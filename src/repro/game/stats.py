@@ -1,0 +1,87 @@
+"""Battle statistics: a human-readable view of one battle's state table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.game.columns import Column, UnitType
+from repro.state.table import GameStateTable
+
+
+@dataclass(frozen=True)
+class TeamReport:
+    """Aggregates for one team."""
+
+    team: int
+    units: int
+    active_units: int
+    knights: int
+    archers: int
+    healers: int
+    total_kills: int
+    total_damage_dealt: float
+    total_healing_done: float
+    mean_health: float
+
+    def describe(self) -> str:
+        return (
+            f"team {self.team}: {self.units:,} units "
+            f"({self.knights:,}K/{self.archers:,}A/{self.healers:,}H), "
+            f"{self.active_units:,} active, kills={self.total_kills:,}, "
+            f"damage={self.total_damage_dealt:,.0f}, "
+            f"healing={self.total_healing_done:,.0f}, "
+            f"mean health={self.mean_health:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class BattleReport:
+    """Scoreboard of a Knights and Archers battle."""
+
+    teams: Tuple[TeamReport, TeamReport]
+
+    @classmethod
+    def from_table(cls, table: GameStateTable) -> "BattleReport":
+        """Aggregate the live state table into a scoreboard."""
+        cells = table.cells
+        reports = []
+        for team_id in (0, 1):
+            members = cells[:, Column.TEAM] == team_id
+            types = cells[members, Column.UNIT_TYPE]
+            reports.append(
+                TeamReport(
+                    team=team_id,
+                    units=int(members.sum()),
+                    active_units=int(
+                        (cells[members, Column.STATE] > 0.5).sum()
+                    ),
+                    knights=int((types == float(UnitType.KNIGHT)).sum()),
+                    archers=int((types == float(UnitType.ARCHER)).sum()),
+                    healers=int((types == float(UnitType.HEALER)).sum()),
+                    total_kills=int(cells[members, Column.KILLS].sum()),
+                    total_damage_dealt=float(
+                        cells[members, Column.DAMAGE_DEALT].sum()
+                    ),
+                    total_healing_done=float(
+                        cells[members, Column.HEALING_DONE].sum()
+                    ),
+                    mean_health=float(np.mean(cells[members, Column.HEALTH]))
+                    if members.any()
+                    else 0.0,
+                )
+            )
+        return cls(teams=(reports[0], reports[1]))
+
+    @property
+    def leader(self) -> int:
+        """Team with more kills (ties go to team 0)."""
+        return 1 if self.teams[1].total_kills > self.teams[0].total_kills else 0
+
+    def describe(self) -> str:
+        """Multi-line scoreboard."""
+        lines = [team.describe() for team in self.teams]
+        lines.append(f"leading team: {self.leader}")
+        return "\n".join(lines)

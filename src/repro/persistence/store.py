@@ -1,0 +1,178 @@
+"""The in-memory item/account tables of the persistence server.
+
+The store holds *characters* (with a gold balance) and *items* (owned by a
+character).  All mutation goes through apply-methods that the transaction
+layer calls -- once at commit time on the live store, and again during
+recovery when redoing the log -- so applying a committed transaction twice in
+a row is impossible by construction (recovery rebuilds from a snapshot and
+replays each committed transaction exactly once).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ReproError
+
+
+class TransactionError(ReproError):
+    """A transactional operation violated a constraint (insufficient gold,
+    wrong owner, unknown character...)."""
+
+
+@dataclass
+class Character:
+    """A player character as the persistence server sees it."""
+
+    character_id: int
+    name: str
+    gold: int = 0
+
+
+@dataclass
+class Item:
+    """A tradeable in-game item."""
+
+    item_id: int
+    kind: str
+    owner_id: int
+
+
+@dataclass
+class ItemStore:
+    """In-memory tables: characters and items, with integrity checks."""
+
+    characters: Dict[int, Character] = field(default_factory=dict)
+    items: Dict[int, Item] = field(default_factory=dict)
+    #: Monotone id allocators (restored from snapshots).
+    next_character_id: int = 1
+    next_item_id: int = 1
+
+    # ------------------------------------------------------------------
+    # Apply-methods (called at commit and during redo)
+    # ------------------------------------------------------------------
+
+    def apply_create_character(self, character_id: int, name: str,
+                               gold: int) -> None:
+        if character_id in self.characters:
+            raise TransactionError(f"character {character_id} already exists")
+        self.characters[character_id] = Character(
+            character_id=character_id, name=name, gold=gold
+        )
+        self.next_character_id = max(self.next_character_id, character_id + 1)
+
+    def apply_create_item(self, item_id: int, kind: str, owner_id: int) -> None:
+        if item_id in self.items:
+            raise TransactionError(f"item {item_id} already exists")
+        self._require_character(owner_id)
+        self.items[item_id] = Item(item_id=item_id, kind=kind, owner_id=owner_id)
+        self.next_item_id = max(self.next_item_id, item_id + 1)
+
+    def apply_transfer_gold(self, from_id: int, to_id: int, amount: int) -> None:
+        if amount <= 0:
+            raise TransactionError(f"gold amount must be positive, got {amount}")
+        sender = self._require_character(from_id)
+        receiver = self._require_character(to_id)
+        if sender.gold < amount:
+            raise TransactionError(
+                f"character {from_id} has {sender.gold} gold, needs {amount}"
+            )
+        sender.gold -= amount
+        receiver.gold += amount
+
+    def apply_adjust_gold(self, character_id: int, delta: int) -> None:
+        """Credit or debit gold from outside the economy (quests, fees)."""
+        character = self._require_character(character_id)
+        if character.gold + delta < 0:
+            raise TransactionError(
+                f"character {character_id} has {character.gold} gold, "
+                f"cannot adjust by {delta}"
+            )
+        character.gold += delta
+
+    def apply_transfer_item(self, item_id: int, from_id: int,
+                            to_id: int) -> None:
+        item = self.items.get(item_id)
+        if item is None:
+            raise TransactionError(f"item {item_id} does not exist")
+        if item.owner_id != from_id:
+            raise TransactionError(
+                f"item {item_id} belongs to {item.owner_id}, not {from_id}"
+            )
+        self._require_character(to_id)
+        item.owner_id = to_id
+
+    def apply_delete_item(self, item_id: int) -> None:
+        if item_id not in self.items:
+            raise TransactionError(f"item {item_id} does not exist")
+        del self.items[item_id]
+
+    def _require_character(self, character_id: int) -> Character:
+        character = self.characters.get(character_id)
+        if character is None:
+            raise TransactionError(f"character {character_id} does not exist")
+        return character
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def items_of(self, character_id: int) -> List[Item]:
+        """All items owned by one character (sorted by id)."""
+        return sorted(
+            (item for item in self.items.values()
+             if item.owner_id == character_id),
+            key=lambda item: item.item_id,
+        )
+
+    def total_gold(self) -> int:
+        """Sum of all balances -- conserved by every trade (test invariant)."""
+        return sum(character.gold for character in self.characters.values())
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot_bytes(self) -> bytes:
+        """Serialize the whole store (for persistence-server snapshots)."""
+        payload = {
+            "characters": [
+                (c.character_id, c.name, c.gold)
+                for c in self.characters.values()
+            ],
+            "items": [
+                (i.item_id, i.kind, i.owner_id) for i in self.items.values()
+            ],
+            "next_character_id": self.next_character_id,
+            "next_item_id": self.next_item_id,
+        }
+        return pickle.dumps(payload, protocol=4)
+
+    @classmethod
+    def from_snapshot_bytes(cls, raw: bytes) -> "ItemStore":
+        """Inverse of :meth:`snapshot_bytes`."""
+        payload = pickle.loads(raw)
+        store = cls(
+            next_character_id=payload["next_character_id"],
+            next_item_id=payload["next_item_id"],
+        )
+        for character_id, name, gold in payload["characters"]:
+            store.characters[character_id] = Character(
+                character_id=character_id, name=name, gold=gold
+            )
+        for item_id, kind, owner_id in payload["items"]:
+            store.items[item_id] = Item(
+                item_id=item_id, kind=kind, owner_id=owner_id
+            )
+        return store
+
+    def equals(self, other: "ItemStore") -> bool:
+        """Deep equality (used by recovery tests)."""
+        return (
+            self.characters == other.characters
+            and self.items == other.items
+            and self.next_character_id == other.next_character_id
+            and self.next_item_id == other.next_item_id
+        )

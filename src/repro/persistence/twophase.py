@@ -1,0 +1,209 @@
+"""Two-phase commit across shards: atomic cross-shard item transfers.
+
+The paper's future work: "we plan to extend our analysis to multi-server
+MMOs.  This will require synchronizing and recovering shared state between
+servers." (Section 8.)  Moving an item from one shard's economy to another's
+is exactly such shared state: it must leave the source and appear at the
+target atomically, surviving crashes of either shard *or* the coordinator.
+
+:class:`CrossShardCoordinator` runs classic presumed-abort 2PC over the
+participants' write-ahead logs:
+
+1. both participants validate and durably **prepare** (pinning the touched
+   entities against local transactions);
+2. the coordinator durably logs its **decision**;
+3. participants apply/discard on **resolve** (idempotent, re-sent after any
+   crash via :meth:`resolve_in_doubt`).
+
+A transfer is therefore never half-done: the item exists on exactly one
+shard at every recoverable point.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Dict, Iterable, Union
+
+from repro.errors import StorageError
+from repro.persistence.server import (
+    OP_CREATE_ITEM,
+    OP_DELETE_ITEM,
+    PersistenceServer,
+)
+from repro.persistence.store import TransactionError
+from repro.storage.layout import (
+    RECORD_HEADER_BYTES,
+    pack_record,
+    unpack_record_header,
+    verify_record,
+)
+
+#: Coordinator decision-log record type.
+RECORD_COORDINATOR_DECISION = 20
+
+
+class CrossShardCoordinator:
+    """Presumed-abort 2PC coordinator with a durable decision log."""
+
+    FILE_NAME = "coordinator.log"
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 sync: bool = False) -> None:
+        self._directory = os.fspath(directory)
+        self._sync = sync
+        os.makedirs(self._directory, exist_ok=True)
+        self._path = os.path.join(self._directory, self.FILE_NAME)
+        self._handle = open(self._path, "a+b")
+        self._decisions: Dict[str, bool] = {}
+        self._sequence = 0
+        for global_id, commit in self._scan():
+            self._decisions[global_id] = commit
+            prefix, _, number = global_id.rpartition("-")
+            if prefix == "xfer" and number.isdigit():
+                self._sequence = max(self._sequence, int(number))
+        self._crashed = False
+
+    def close(self) -> None:
+        """Close the decision log."""
+        self._handle.close()
+
+    def __enter__(self) -> "CrossShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def decisions(self) -> Dict[str, bool]:
+        """All durably decided transactions (gid -> committed?)."""
+        return dict(self._decisions)
+
+    # ------------------------------------------------------------------
+    # Decision log
+    # ------------------------------------------------------------------
+
+    def _scan(self):
+        handle = self._handle
+        handle.seek(0)
+        while True:
+            header = handle.read(RECORD_HEADER_BYTES)
+            if len(header) < RECORD_HEADER_BYTES:
+                return
+            try:
+                record_type, a, _b, length, checksum = unpack_record_header(
+                    header
+                )
+            except Exception:
+                return
+            payload = handle.read(length)
+            if len(payload) < length or not verify_record(header, payload,
+                                                          checksum):
+                return
+            if record_type == RECORD_COORDINATOR_DECISION:
+                yield pickle.loads(payload), bool(a)
+
+    def _log_decision(self, global_id: str, commit: bool) -> None:
+        self._handle.seek(0, os.SEEK_END)
+        self._handle.write(
+            pack_record(
+                RECORD_COORDINATOR_DECISION, int(commit), 0,
+                pickle.dumps(global_id, protocol=4),
+            )
+        )
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+        self._decisions[global_id] = commit
+
+    def _new_global_id(self) -> str:
+        self._sequence += 1
+        return f"xfer-{self._sequence}"
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise StorageError("coordinator has crashed; recover it instead")
+
+    # ------------------------------------------------------------------
+    # The transfer protocol
+    # ------------------------------------------------------------------
+
+    def transfer_item(
+        self,
+        source: PersistenceServer,
+        target: PersistenceServer,
+        item_id: int,
+        new_owner_id: int,
+    ) -> str:
+        """Atomically move ``item_id`` from ``source`` to ``target``.
+
+        Returns the global transaction id on commit; raises
+        :class:`TransactionError` (after a durable abort of any prepared
+        half) when either side votes no.
+        """
+        self._check_alive()
+        item = source.store.items.get(item_id)
+        kind = item.kind if item is not None else "?"
+        target_item_id = target.store.next_item_id
+        global_id = self._new_global_id()
+
+        source_operations = [(OP_DELETE_ITEM, item_id)]
+        target_operations = [
+            (OP_CREATE_ITEM, target_item_id, kind, new_owner_id)
+        ]
+
+        prepared = []
+        source_vote = source.prepare_remote(global_id, source_operations)
+        if source_vote:
+            prepared.append(source)
+        target_vote = target.prepare_remote(global_id, target_operations)
+        if target_vote:
+            prepared.append(target)
+
+        commit = source_vote and target_vote
+        self._log_decision(global_id, commit)
+        for participant in prepared:
+            participant.resolve_remote(global_id, commit)
+        if not commit:
+            raise TransactionError(
+                f"cross-shard transfer {global_id} aborted "
+                f"(source vote: {source_vote}, target vote: {target_vote})"
+            )
+        return global_id
+
+    # ------------------------------------------------------------------
+    # Failure and recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop the coordinator (decision log stays on disk)."""
+        self._crashed = True
+        self._handle.close()
+
+    @classmethod
+    def recover(cls, directory: Union[str, os.PathLike],
+                sync: bool = False) -> "CrossShardCoordinator":
+        """Reopen after a crash; follow up with :meth:`resolve_in_doubt`."""
+        return cls(directory, sync=sync)
+
+    def resolve_in_doubt(
+        self, participants: Iterable[PersistenceServer]
+    ) -> int:
+        """Resolve every participant's in-doubt transaction.
+
+        Prepared transactions with a logged commit decision are committed;
+        everything else is **presumed abort** (the decision was never made
+        durable, so no participant can have committed).  Returns the number
+        of transactions resolved.
+        """
+        self._check_alive()
+        resolved = 0
+        for participant in participants:
+            for global_id in list(participant.in_doubt_transactions()):
+                commit = self._decisions.get(global_id, False)
+                if global_id not in self._decisions:
+                    # Make the presumed abort durable for future recoveries.
+                    self._log_decision(global_id, False)
+                if participant.resolve_remote(global_id, commit):
+                    resolved += 1
+        return resolved

@@ -1,0 +1,284 @@
+"""Redo-only write-ahead log for the persistence server.
+
+Log discipline: a transaction's operations are buffered in memory; at commit
+time one record holding the *whole* operation list is appended and flushed
+(write-ahead), and only then are the operations applied to the in-memory
+store.  A crash before the append loses the transaction (it was never
+acknowledged); a crash after it leaves a complete record that redo replays.
+Because a transaction is one record, torn writes cannot split it -- the CRC
+framing from :mod:`repro.storage.layout` drops a damaged tail record whole.
+
+The log also carries snapshot markers: recovery loads the newest snapshot and
+redoes only the transactions logged after it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.errors import StorageError
+from repro.storage.layout import (
+    RECORD_HEADER_BYTES,
+    pack_record,
+    unpack_record_header,
+    verify_record,
+)
+
+#: WAL record types (disjoint from the checkpoint/action-log types).
+RECORD_TRANSACTION = 16
+RECORD_SNAPSHOT = 17
+#: Two-phase-commit participant records (cross-shard transfers).
+RECORD_PREPARE = 18
+RECORD_DECISION = 19
+
+
+@dataclass(frozen=True)
+class LoggedTransaction:
+    """One committed transaction as read back from the log."""
+
+    transaction_id: int
+    operations: List[tuple]
+
+
+@dataclass(frozen=True)
+class WalRecovery:
+    """Everything redo needs, reconstructed from one scan of the log.
+
+    ``redo_operations`` lists the operation batches to re-apply *in log
+    order* on top of the snapshot: local transactions and the distributed
+    transactions whose commit decision landed after the snapshot.
+    ``in_doubt`` maps prepared-but-undecided global transaction ids to their
+    pinned operations -- the coordinator resolves them (presumed abort).
+    """
+
+    snapshot: Optional[bytes]
+    redo_operations: List[List[tuple]]
+    in_doubt: "dict[str, List[tuple]]"
+
+
+class WriteAheadLog:
+    """Append-only redo log with embedded snapshots."""
+
+    FILE_NAME = "persistence.wal"
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 sync: bool = False) -> None:
+        self._directory = os.fspath(directory)
+        self._sync = sync
+        os.makedirs(self._directory, exist_ok=True)
+        self._path = os.path.join(self._directory, self.FILE_NAME)
+        self._handle = open(self._path, "a+b")
+        self._last_transaction_id = 0
+        for kind, payload in self._scan():
+            if kind in (RECORD_TRANSACTION, RECORD_SNAPSHOT):
+                # Snapshot records carry the id watermark at snapshot time,
+                # so the counter survives compaction.
+                self._last_transaction_id = max(
+                    self._last_transaction_id, payload[0]
+                )
+
+    def close(self) -> None:
+        """Close the log file."""
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        """Path of the log file."""
+        return self._path
+
+    @property
+    def last_transaction_id(self) -> int:
+        """Highest transaction id durably logged (0 if none)."""
+        return self._last_transaction_id
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _append(self, record_type: int, a: int, payload: bytes) -> None:
+        self._handle.seek(0, os.SEEK_END)
+        self._handle.write(pack_record(record_type, a, 0, payload))
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+
+    def log_transaction(self, transaction_id: int,
+                        operations: List[tuple]) -> None:
+        """Durably append one committed transaction (write-ahead point)."""
+        if transaction_id <= self._last_transaction_id:
+            raise StorageError(
+                f"transaction ids must increase: {transaction_id} after "
+                f"{self._last_transaction_id}"
+            )
+        self._append(
+            RECORD_TRANSACTION, transaction_id,
+            pickle.dumps(operations, protocol=4),
+        )
+        self._last_transaction_id = transaction_id
+
+    def log_snapshot(self, snapshot: bytes) -> None:
+        """Embed a store snapshot; redo restarts from the newest one."""
+        self._append(RECORD_SNAPSHOT, self._last_transaction_id, snapshot)
+
+    def log_prepare(self, global_id: str, operations: List[tuple]) -> None:
+        """Durably record a yes-vote for a distributed transaction.
+
+        The operations are *not* applied yet; they are pinned until a
+        decision record arrives (possibly after a crash).
+        """
+        self._append(
+            RECORD_PREPARE, 0, pickle.dumps((global_id, operations),
+                                            protocol=4)
+        )
+
+    def log_decision(self, global_id: str, commit: bool) -> None:
+        """Durably record the coordinator's decision for a prepared txn."""
+        self._append(
+            RECORD_DECISION, int(commit),
+            pickle.dumps(global_id, protocol=4),
+        )
+
+    # ------------------------------------------------------------------
+    # Reading / redo
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> Iterator[Tuple[int, tuple]]:
+        """Yield ``(record_type, payload_tuple)`` for complete records.
+
+        Payloads: ``(transaction_id, operations)`` for transactions,
+        ``(last_transaction_id, snapshot_bytes)`` for snapshots.  Stops at
+        the first torn record.
+        """
+        handle = self._handle
+        handle.seek(0)
+        while True:
+            header = handle.read(RECORD_HEADER_BYTES)
+            if len(header) < RECORD_HEADER_BYTES:
+                return
+            try:
+                record_type, a, _b, length, checksum = unpack_record_header(
+                    header
+                )
+            except Exception:
+                return
+            payload = handle.read(length)
+            if len(payload) < length or not verify_record(header, payload,
+                                                          checksum):
+                return
+            if record_type == RECORD_TRANSACTION:
+                yield record_type, (a, pickle.loads(payload))
+            elif record_type == RECORD_SNAPSHOT:
+                yield record_type, (a, payload)
+            elif record_type == RECORD_PREPARE:
+                yield record_type, pickle.loads(payload)  # (gid, operations)
+            elif record_type == RECORD_DECISION:
+                yield record_type, (pickle.loads(payload), bool(a))
+
+    def recover(self) -> WalRecovery:
+        """Rebuild redo state from one forward scan of the log.
+
+        Snapshots reset the redo list (their state already includes every
+        batch applied before them); commit decisions act as the apply-point
+        of their prepared operations; prepares without any decision remain
+        in doubt.
+        """
+        snapshot: Optional[bytes] = None
+        redo: List[List[tuple]] = []
+        prepared: dict = {}
+        decided: set = set()
+        in_doubt: dict = {}
+        for record_type, payload in self._scan():
+            if record_type == RECORD_SNAPSHOT:
+                snapshot = payload[1]
+                redo = []
+            elif record_type == RECORD_TRANSACTION:
+                redo.append(payload[1])
+            elif record_type == RECORD_PREPARE:
+                global_id, operations = payload
+                prepared[global_id] = operations
+                if global_id not in decided:
+                    in_doubt[global_id] = operations
+            elif record_type == RECORD_DECISION:
+                global_id, commit = payload
+                if global_id in decided:
+                    continue  # duplicate decision (re-sent after recovery)
+                decided.add(global_id)
+                in_doubt.pop(global_id, None)
+                if commit:
+                    operations = prepared.get(global_id)
+                    if operations is not None:
+                        redo.append(operations)
+        return WalRecovery(snapshot=snapshot, redo_operations=redo,
+                           in_doubt=in_doubt)
+
+    def size_bytes(self) -> int:
+        """Current log size."""
+        self._handle.seek(0, os.SEEK_END)
+        return self._handle.tell()
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Drop everything the newest snapshot makes redundant.
+
+        Rewrites the log as: the prepare records of still-in-doubt
+        distributed transactions (they must survive -- their decisions may
+        arrive after any number of restarts), then the newest snapshot, then
+        every record after it.  Returns the bytes reclaimed (0 when there is
+        no snapshot to compact behind).
+        """
+        recovery = self.recover()
+        if recovery.snapshot is None:
+            return 0
+        old_size = self.size_bytes()
+        # Collect the raw records after the newest snapshot by re-scanning
+        # with offsets: simplest correct approach is to re-serialize from
+        # the recovered structures.
+        temp_path = self._path + ".compact"
+        with open(temp_path, "wb") as temp:
+            for global_id, operations in recovery.in_doubt.items():
+                temp.write(
+                    pack_record(
+                        RECORD_PREPARE, 0,
+                        0,
+                        pickle.dumps((global_id, operations), protocol=4),
+                    )
+                )
+            temp.write(
+                pack_record(
+                    RECORD_SNAPSHOT, self._last_transaction_id, 0,
+                    recovery.snapshot,
+                )
+            )
+            for index, operations in enumerate(recovery.redo_operations):
+                # Post-snapshot batches are re-logged as plain transactions;
+                # their original ids are already reflected in
+                # last_transaction_id, so synthetic ids only order them.
+                temp.write(
+                    pack_record(
+                        RECORD_TRANSACTION,
+                        self._last_transaction_id - len(
+                            recovery.redo_operations
+                        ) + index + 1,
+                        0,
+                        pickle.dumps(operations, protocol=4),
+                    )
+                )
+            temp.flush()
+            if self._sync:
+                os.fsync(temp.fileno())
+        self._handle.close()
+        os.replace(temp_path, self._path)
+        self._handle = open(self._path, "a+b")
+        return old_size - self.size_bytes()

@@ -1,0 +1,147 @@
+"""Analytic models of the recovery alternatives the paper rejects.
+
+Sections 3.1 and 7 argue, qualitatively, that
+
+* physically logging every update ("schemes based on logging all game
+  updates are infeasible for MMOs in practice") would exhaust disk
+  bandwidth -- which also rules out fuzzy checkpointing, whose consistency
+  depends on a physical log;
+* K-safe active replication (Lau & Madden; Stonebraker et al.) buys
+  near-instant failover at a utilization of 1/K, "increases utilization at a
+  potential increase in recovery time" being the checkpointing trade.
+
+This module turns those arguments into numbers using the same Table 3
+constants, so the experiment suite can show *where* the alternatives break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareParameters, StateGeometry
+from repro.errors import SimulationError
+
+#: Bytes of framing a physical log record needs besides the payload
+#: (LSN, table/cell id, length -- a deliberately charitable 16 bytes).
+PHYSICAL_LOG_RECORD_OVERHEAD = 16
+
+#: Seconds per year, for availability arithmetic.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PhysicalLoggingAssessment:
+    """Feasibility of write-ahead physical logging at one update rate."""
+
+    updates_per_second: float
+    bytes_per_second_required: float
+    disk_bandwidth: float
+
+    @property
+    def bandwidth_fraction(self) -> float:
+        """Required log bandwidth as a fraction of the disk (>1 = infeasible)."""
+        return self.bytes_per_second_required / self.disk_bandwidth
+
+    @property
+    def feasible(self) -> bool:
+        """True if the log alone leaves headroom (paper needs the same disk
+        for checkpoints, so we require < 50% of the bandwidth)."""
+        return self.bandwidth_fraction < 0.5
+
+
+def assess_physical_logging(
+    updates_per_tick: int,
+    hardware: HardwareParameters,
+    geometry: StateGeometry,
+    cell_granularity: bool = True,
+) -> PhysicalLoggingAssessment:
+    """Bandwidth needed to physically log every update, ARIES-style.
+
+    With ``cell_granularity`` each update logs one cell value plus framing
+    (the cheapest possible physical log); otherwise whole atomic objects are
+    logged, as a page-oriented logger would.
+    """
+    if updates_per_tick < 0:
+        raise SimulationError(
+            f"updates_per_tick must be >= 0, got {updates_per_tick}"
+        )
+    updates_per_second = updates_per_tick * hardware.tick_frequency_hz
+    payload = geometry.cell_bytes if cell_granularity else geometry.object_bytes
+    record_bytes = payload + PHYSICAL_LOG_RECORD_OVERHEAD
+    return PhysicalLoggingAssessment(
+        updates_per_second=updates_per_second,
+        bytes_per_second_required=updates_per_second * record_bytes,
+        disk_bandwidth=hardware.disk_bandwidth,
+    )
+
+
+@dataclass(frozen=True)
+class AvailabilityAssessment:
+    """Yearly downtime of one recovery strategy under fail-stop crashes."""
+
+    strategy: str
+    utilization: float
+    recovery_seconds: float
+    crashes_per_year: float
+
+    @property
+    def downtime_seconds_per_year(self) -> float:
+        """Expected unplanned downtime per year."""
+        return self.crashes_per_year * self.recovery_seconds
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the year the shard is up."""
+        return 1.0 - self.downtime_seconds_per_year / SECONDS_PER_YEAR
+
+    def meets_four_nines(self) -> bool:
+        """The paper's developer target: 99.99% uptime (~1 hour/year)."""
+        return self.availability >= 0.9999
+
+
+def assess_checkpoint_recovery(
+    recovery_seconds: float, crashes_per_year: float,
+    overhead_fraction: float = 0.0,
+) -> AvailabilityAssessment:
+    """Availability of single-server checkpoint recovery.
+
+    ``overhead_fraction`` is the slice of each tick spent on checkpointing
+    (e.g. 2 ms of a 33 ms tick = 0.06): it reduces usable capacity the same
+    way redundancy does, letting the comparison be apples-to-apples.
+    """
+    if not 0.0 <= overhead_fraction < 1.0:
+        raise SimulationError(
+            f"overhead_fraction must be in [0, 1), got {overhead_fraction}"
+        )
+    if recovery_seconds < 0 or crashes_per_year < 0:
+        raise SimulationError("recovery time and crash rate must be >= 0")
+    return AvailabilityAssessment(
+        strategy="checkpoint recovery",
+        utilization=1.0 - overhead_fraction,
+        recovery_seconds=recovery_seconds,
+        crashes_per_year=crashes_per_year,
+    )
+
+
+def assess_k_safety(
+    replicas: int, crashes_per_year: float, failover_seconds: float = 1.0
+) -> AvailabilityAssessment:
+    """Availability of K-safe active replication.
+
+    All ``replicas`` servers execute the simulation loop redundantly
+    (utilization 1/K); a crash fails over in ``failover_seconds`` and an
+    outage requires all replicas down at once, which at MMO crash rates is
+    negligible -- we charge only the failover blips of the primary.
+    """
+    if replicas < 2:
+        raise SimulationError(
+            f"K-safety needs at least 2 replicas, got {replicas}"
+        )
+    if failover_seconds < 0 or crashes_per_year < 0:
+        raise SimulationError("failover time and crash rate must be >= 0")
+    return AvailabilityAssessment(
+        strategy=f"{replicas}-safe replication",
+        utilization=1.0 / replicas,
+        recovery_seconds=failover_seconds,
+        crashes_per_year=crashes_per_year,
+    )

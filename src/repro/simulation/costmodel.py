@@ -1,0 +1,155 @@
+"""The analytic cost model of Section 4.2.
+
+All durations are in seconds.  With ``Sobj`` the atomic-object size, ``n``
+the number of atomic objects, and the Table 3 constants:
+
+* synchronous in-memory copy of ``k`` contiguous objects::
+
+      dT_sync(k) = Omem + k * Sobj / Bmem
+
+  summed over all contiguous groups of the objects to be copied;
+
+* asynchronous write of ``k`` objects::
+
+      dT_async(k) = k * Sobj / Bdisk            (log organization)
+      dT_async(k) ~ n * Sobj / Bdisk            (double backup, sorted writes)
+
+  the double-backup sorted-write pattern needs a full disk rotation per track
+  of the backup file, so its elapsed time is independent of ``k`` ("slightly
+  counter-intuitive (but correct)");
+
+* per-update overhead during copy-on-update checkpointing::
+
+      dT_overhead = Obit + Olock + dT_sync(1)
+
+  where ``Olock`` applies only on a failed bit test (first touch) and
+  ``dT_sync(1)`` only when an old value must be saved;
+
+* recovery::
+
+      dT_recovery = dT_restore + dT_replay
+      dT_restore  = n * Sobj / Bdisk                       (full image on disk)
+      dT_restore  = (k*C + n) * Sobj / Bdisk               (partial-redo logs)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import HardwareParameters, StateGeometry
+from repro.core.plan import UpdateEffects
+from repro.errors import SimulationError
+
+
+def contiguous_groups(sorted_ids: np.ndarray) -> int:
+    """Number of maximal runs of consecutive ids in a sorted id array."""
+    if sorted_ids.size == 0:
+        return 0
+    return int(1 + np.count_nonzero(np.diff(sorted_ids) > 1))
+
+
+class CostModel:
+    """Prices the framework subroutines for one hardware/geometry pair."""
+
+    def __init__(self, hardware: HardwareParameters, geometry: StateGeometry) -> None:
+        self._hardware = hardware
+        self._geometry = geometry
+        object_bytes = geometry.object_bytes
+        self._mem_seconds_per_object = object_bytes / hardware.memory_bandwidth
+        self._disk_seconds_per_object = object_bytes / hardware.disk_bandwidth
+        self._full_disk_write = geometry.num_objects * self._disk_seconds_per_object
+
+    @property
+    def hardware(self) -> HardwareParameters:
+        """The Table 3 constants in use."""
+        return self._hardware
+
+    @property
+    def geometry(self) -> StateGeometry:
+        """The state geometry in use."""
+        return self._geometry
+
+    # ------------------------------------------------------------------
+    # Synchronous in-memory copies (Copy-To-Memory)
+    # ------------------------------------------------------------------
+
+    def sync_copy_time(self, sorted_ids: np.ndarray) -> float:
+        """dT_sync summed over the contiguous groups of ``sorted_ids``."""
+        k = int(sorted_ids.size)
+        if k == 0:
+            return 0.0
+        groups = contiguous_groups(sorted_ids)
+        return (
+            groups * self._hardware.memory_latency
+            + k * self._mem_seconds_per_object
+        )
+
+    def full_sync_copy_time(self) -> float:
+        """dT_sync(n) for the whole state as one contiguous run."""
+        return (
+            self._hardware.memory_latency
+            + self._geometry.num_objects * self._mem_seconds_per_object
+        )
+
+    def single_object_copy_time(self) -> float:
+        """dT_sync(1): saving one old value during copy-on-update."""
+        return self._hardware.memory_latency + self._mem_seconds_per_object
+
+    # ------------------------------------------------------------------
+    # Asynchronous writes to stable storage
+    # ------------------------------------------------------------------
+
+    def log_write_time(self, write_count: int) -> float:
+        """dT_async(k) for a sequential log write."""
+        if write_count < 0:
+            raise SimulationError(f"write_count must be >= 0, got {write_count}")
+        return write_count * self._disk_seconds_per_object
+
+    def double_backup_write_time(self, write_count: int) -> float:
+        """dT_async(k) for sorted writes into a double backup.
+
+        Independent of ``k`` (one rotation per track of the backup file)
+        except for the trivial ``k = 0`` case, where nothing is written.
+        """
+        if write_count < 0:
+            raise SimulationError(f"write_count must be >= 0, got {write_count}")
+        if write_count == 0:
+            return 0.0
+        return self._full_disk_write
+
+    # ------------------------------------------------------------------
+    # Per-update overhead (Handle-Update)
+    # ------------------------------------------------------------------
+
+    def update_overhead(self, effects: UpdateEffects) -> float:
+        """Total tick overhead for one tick's worth of update effects."""
+        hw = self._hardware
+        return (
+            effects.bit_tests * hw.bit_test_overhead
+            + effects.lock_count * hw.lock_overhead
+            + effects.copy_count * self.single_object_copy_time()
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def restore_time_full_image(self) -> float:
+        """dT_restore when a full consistent image is read sequentially."""
+        return self._full_disk_write
+
+    def restore_time_log(self, writes_per_checkpoint: float,
+                         full_dump_period: int) -> float:
+        """dT_restore for the partial-redo logs: (k*C + n) * Sobj / Bdisk."""
+        if writes_per_checkpoint < 0:
+            raise SimulationError(
+                f"writes_per_checkpoint must be >= 0, got {writes_per_checkpoint}"
+            )
+        if full_dump_period < 1:
+            raise SimulationError(
+                f"full_dump_period must be >= 1, got {full_dump_period}"
+            )
+        log_objects = writes_per_checkpoint * full_dump_period
+        return (
+            log_objects * self._disk_seconds_per_object + self._full_disk_write
+        )

@@ -1,0 +1,79 @@
+"""Virtual-time bookkeeping for the asynchronous checkpoint write.
+
+The game server dedicates one disk to recovery (the paper's validation setup
+writes "directly through a Linux block device" on "a dedicated hard drive"),
+and checkpoints are taken back-to-back, so at most one asynchronous write is
+ever in flight.  :class:`DiskWriteScheduler` tracks that single job in
+virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class WriteJob:
+    """One asynchronous checkpoint write in virtual time."""
+
+    start_time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"job duration must be >= 0, got {self.duration}")
+
+    @property
+    def finish_time(self) -> float:
+        """Virtual time at which the write becomes durable."""
+        return self.start_time + self.duration
+
+    def finished(self, now: float) -> bool:
+        """True once virtual time ``now`` has reached the finish time."""
+        return now >= self.finish_time
+
+    def progress(self, now: float) -> float:
+        """Fraction of the write completed at virtual time ``now``."""
+        if self.duration == 0.0:
+            return 1.0
+        return min(max((now - self.start_time) / self.duration, 0.0), 1.0)
+
+
+class DiskWriteScheduler:
+    """Holds the at-most-one in-flight asynchronous checkpoint write."""
+
+    def __init__(self) -> None:
+        self._job: Optional[WriteJob] = None
+
+    @property
+    def active_job(self) -> Optional[WriteJob]:
+        """The in-flight job, if any."""
+        return self._job
+
+    def begin(self, start_time: float, duration: float) -> WriteJob:
+        """Start a new write; the previous one must have been retired."""
+        if self._job is not None:
+            raise SimulationError(
+                "a checkpoint write is already in flight; retire it first"
+            )
+        self._job = WriteJob(start_time=start_time, duration=duration)
+        return self._job
+
+    def finished(self, now: float) -> bool:
+        """True if there is no in-flight write or it has completed by ``now``."""
+        return self._job is None or self._job.finished(now)
+
+    def retire(self, now: float) -> WriteJob:
+        """Remove and return the completed job."""
+        if self._job is None:
+            raise SimulationError("no checkpoint write to retire")
+        if not self._job.finished(now):
+            raise SimulationError(
+                f"checkpoint write finishes at {self._job.finish_time:.6f}, "
+                f"cannot retire at {now:.6f}"
+            )
+        job, self._job = self._job, None
+        return job

@@ -1,0 +1,215 @@
+"""Dirty-tracking structures shared by all checkpointing algorithms.
+
+Three structures live here:
+
+* :class:`PolarityBitmap` -- one bit per atomic object with an O(1)
+  "invert interpretation" operation.  Dribble-and-Copy-on-Update flips the
+  meaning of its flushed bit between checkpoints instead of clearing ten
+  million bits (the paper cites Pu [24] for this trick).
+* :class:`EpochSet` -- a "touched during the current checkpoint" set with
+  O(1) reset, implemented with per-slot epoch stamps.  Copy-on-update methods
+  use it to pay the lock/copy cost only on the *first* update of an object
+  within a checkpoint.
+* :class:`DoubleBackupBits` -- the two-bits-per-object bookkeeping of the
+  double-backup disk organization: bit ``b`` of object ``o`` records whether
+  ``o`` changed since it was last written to backup ``b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PolarityBitmap:
+    """A bitmap over ``size`` slots with O(1) whole-map inversion.
+
+    The logical value of slot ``i`` is ``raw[i] XOR inverted``.  ``set`` /
+    ``clear`` / ``test`` behave like an ordinary bitmap; :meth:`flip_all`
+    inverts every logical bit in O(1) by toggling the polarity flag.
+    """
+
+    def __init__(self, size: int, fill: bool = False) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"bitmap size must be positive, got {size}")
+        self._size = size
+        self._raw = np.zeros(size, dtype=bool)
+        self._inverted = bool(fill)
+
+    @property
+    def size(self) -> int:
+        """Number of slots in the bitmap."""
+        return self._size
+
+    def set(self, ids) -> None:
+        """Set the logical bit for each id in ``ids`` (array-like of ints)."""
+        self._raw[ids] = not self._inverted
+
+    def clear(self, ids) -> None:
+        """Clear the logical bit for each id in ``ids``."""
+        self._raw[ids] = self._inverted
+
+    def set_all(self) -> None:
+        """Set every logical bit (O(n): rewrites the raw array)."""
+        self._raw.fill(not self._inverted)
+
+    def clear_all(self) -> None:
+        """Clear every logical bit (O(n): rewrites the raw array)."""
+        self._raw.fill(self._inverted)
+
+    def flip_all(self) -> None:
+        """Invert every logical bit in O(1).
+
+        When every bit is known to be set (e.g. all objects flushed at the
+        end of a Dribble checkpoint), this is equivalent to ``clear_all`` but
+        costs nothing -- exactly the paper's "invert the interpretation of
+        the bit attached to each object".
+        """
+        self._inverted = not self._inverted
+
+    def test(self, ids) -> np.ndarray:
+        """Return a boolean array: the logical bit for each id in ``ids``."""
+        values = self._raw[ids]
+        if self._inverted:
+            return ~values
+        return values.copy()
+
+    def values(self) -> np.ndarray:
+        """Return the full logical bitmap as a fresh boolean array."""
+        if self._inverted:
+            return ~self._raw
+        return self._raw.copy()
+
+    def count_set(self) -> int:
+        """Number of logically-set bits."""
+        raw_count = int(self._raw.sum())
+        if self._inverted:
+            return self._size - raw_count
+        return raw_count
+
+    def set_ids(self) -> np.ndarray:
+        """Sorted array of ids whose logical bit is set."""
+        return np.flatnonzero(self.values())
+
+
+class EpochSet:
+    """A set over ``size`` slots with O(1) reset via epoch stamps.
+
+    ``add_new`` inserts ids and reports which of them were *not* already
+    members -- the "first touch this checkpoint" test at the heart of every
+    copy-on-update method.  :meth:`reset` empties the set by bumping the
+    epoch counter.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"epoch set size must be positive, got {size}")
+        self._size = size
+        self._stamps = np.zeros(size, dtype=np.int64)
+        self._epoch = np.int64(1)
+
+    @property
+    def size(self) -> int:
+        """Number of slots the set can hold."""
+        return self._size
+
+    def contains(self, ids) -> np.ndarray:
+        """Return a boolean array: membership of each id in ``ids``."""
+        return self._stamps[ids] == self._epoch
+
+    def add(self, ids) -> None:
+        """Insert ``ids`` into the set."""
+        self._stamps[ids] = self._epoch
+
+    def add_new(self, ids) -> np.ndarray:
+        """Insert ``ids`` and return the subset that was newly inserted.
+
+        ``ids`` must not contain duplicates (callers pass the per-tick
+        ``np.unique`` of updated objects); with duplicates the "new" report
+        would double-count within the call.
+        """
+        ids = np.asarray(ids)
+        fresh_mask = self._stamps[ids] != self._epoch
+        fresh = ids[fresh_mask]
+        self._stamps[fresh] = self._epoch
+        return fresh
+
+    def reset(self) -> None:
+        """Empty the set in O(1)."""
+        self._epoch += 1
+
+    def count(self) -> int:
+        """Number of ids currently in the set."""
+        return int((self._stamps == self._epoch).sum())
+
+    def members(self) -> np.ndarray:
+        """Sorted array of ids currently in the set."""
+        return np.flatnonzero(self._stamps == self._epoch)
+
+
+class DoubleBackupBits:
+    """Per-object dirty bits for the double-backup disk organization.
+
+    Following Salem and Garcia-Molina [29], each atomic object carries one
+    bit per backup: bit ``b`` of object ``o`` is set iff ``o`` has changed
+    since it was last written to backup ``b``.  Checkpoints alternate between
+    the backups; a checkpoint to backup ``b`` writes exactly the objects
+    whose bit ``b`` is set and then clears those bits, while every update
+    sets both bits.
+
+    A freshly-created structure has every bit set: nothing has ever been
+    written to either backup, so the first checkpoint to each must write the
+    whole state.
+    """
+
+    NUM_BACKUPS = 2
+
+    def __init__(self, num_objects: int) -> None:
+        self._bitmaps = [
+            PolarityBitmap(num_objects, fill=True) for _ in range(self.NUM_BACKUPS)
+        ]
+        self._current = 0
+
+    @property
+    def num_objects(self) -> int:
+        """Number of atomic objects tracked."""
+        return self._bitmaps[0].size
+
+    @property
+    def current_backup(self) -> int:
+        """Index (0 or 1) of the backup the next checkpoint will write."""
+        return self._current
+
+    def mark_updated(self, ids) -> None:
+        """Record that the objects in ``ids`` changed (sets both bits)."""
+        for bitmap in self._bitmaps:
+            bitmap.set(ids)
+
+    def dirty_for_current(self) -> np.ndarray:
+        """Ids that must be written by the next checkpoint."""
+        return self._bitmaps[self._current].set_ids()
+
+    def dirty_mask_for_current(self) -> np.ndarray:
+        """Boolean mask over objects: must be written by the next checkpoint."""
+        return self._bitmaps[self._current].values()
+
+    def begin_checkpoint(self) -> np.ndarray:
+        """Start a checkpoint to the current backup.
+
+        Returns the write set (ids dirty for that backup) and clears those
+        bits; updates arriving while the checkpoint runs re-dirty both
+        backups as usual.
+        """
+        bitmap = self._bitmaps[self._current]
+        write_set = bitmap.set_ids()
+        bitmap.clear(write_set)
+        return write_set
+
+    def finish_checkpoint(self) -> None:
+        """Complete the in-flight checkpoint and alternate to the other backup."""
+        self._current = 1 - self._current
+
+    def dirty_counts(self) -> tuple:
+        """``(count_for_backup_0, count_for_backup_1)`` -- mainly for tests."""
+        return tuple(bitmap.count_set() for bitmap in self._bitmaps)

@@ -1,0 +1,176 @@
+"""The in-memory game-state table.
+
+The conceptual state of an MMO is "a table containing game objects" (paper,
+Section 2.1): ``rows`` game objects with ``columns`` attributes each.  For
+checkpointing, row-major runs of cells are grouped into fixed-size *atomic
+objects* -- the unit of dirty tracking and disk I/O (one 512-byte disk sector
+in the paper's setup).
+
+:class:`GameStateTable` backs the table with a single contiguous numpy buffer
+padded to a whole number of atomic objects, so any object can be read or
+written as a raw byte slice without copying the rest of the state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import StateGeometry
+from repro.errors import GeometryError
+
+
+class GameStateTable:
+    """A rows x columns cell table sliceable into atomic objects.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the table and the atomic-object grouping.
+    dtype:
+        Cell dtype; its item size must equal ``geometry.cell_bytes``.
+        Integer-cell workloads use ``uint32``; the Knights and Archers game
+        uses ``float32`` (positions, health, ...).
+    """
+
+    def __init__(self, geometry: StateGeometry, dtype=np.uint32) -> None:
+        dtype = np.dtype(dtype)
+        if dtype.itemsize != geometry.cell_bytes:
+            raise GeometryError(
+                f"dtype {dtype} has item size {dtype.itemsize}, but the "
+                f"geometry specifies {geometry.cell_bytes}-byte cells"
+            )
+        self._geometry = geometry
+        self._dtype = dtype
+        padded_cells = geometry.num_objects * geometry.cells_per_object
+        self._buffer = np.zeros(padded_cells, dtype=dtype)
+        self._cells = self._buffer[: geometry.num_cells]
+        self._table = self._cells.reshape(geometry.rows, geometry.columns)
+
+    @property
+    def geometry(self) -> StateGeometry:
+        """The table's geometry (shape and atomic-object grouping)."""
+        return self._geometry
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The cell dtype."""
+        return self._dtype
+
+    @property
+    def cells(self) -> np.ndarray:
+        """2-D (rows x columns) view of the live state.  Mutating it mutates
+        the table; use :meth:`apply_updates` when dirty tracking matters."""
+        return self._table
+
+    @property
+    def flat(self) -> np.ndarray:
+        """1-D view of the live cells in row-major order (unpadded)."""
+        return self._cells
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply_updates(self, rows, columns, values) -> np.ndarray:
+        """Write ``values`` into cells ``(rows, columns)`` (vectorized).
+
+        Returns the atomic-object id touched by each update, in update order
+        and *with duplicates*, so the caller can feed them to a checkpointing
+        algorithm's update handler.
+        """
+        rows = np.asarray(rows)
+        columns = np.asarray(columns)
+        if rows.size and (rows.min() < 0 or rows.max() >= self._geometry.rows):
+            raise GeometryError("row index out of range")
+        if columns.size and (
+            columns.min() < 0 or columns.max() >= self._geometry.columns
+        ):
+            raise GeometryError("column index out of range")
+        self._table[rows, columns] = values
+        cell_index = self._geometry.cell_index(rows, columns)
+        return self._geometry.object_of_cell(cell_index)
+
+    def apply_cell_updates(self, cell_indices, values) -> np.ndarray:
+        """Write ``values`` into flat cell indices; returns touched object ids."""
+        cell_indices = np.asarray(cell_indices)
+        if cell_indices.size and (
+            cell_indices.min() < 0 or cell_indices.max() >= self._geometry.num_cells
+        ):
+            raise GeometryError("cell index out of range")
+        self._cells[cell_indices] = values
+        return self._geometry.object_of_cell(cell_indices)
+
+    # ------------------------------------------------------------------
+    # Atomic-object access (for checkpointing and recovery)
+    # ------------------------------------------------------------------
+
+    def _object_matrix(self) -> np.ndarray:
+        """View of the padded buffer as (num_objects, cells_per_object)."""
+        return self._buffer.reshape(
+            self._geometry.num_objects, self._geometry.cells_per_object
+        )
+
+    def read_objects(self, object_ids) -> np.ndarray:
+        """Copy of the payload cells for ``object_ids``.
+
+        Returns an array of shape ``(len(object_ids), cells_per_object)``.
+        """
+        return self._object_matrix()[object_ids].copy()
+
+    def write_objects(self, object_ids, payloads) -> None:
+        """Overwrite the payloads of ``object_ids`` (used during recovery)."""
+        payloads = np.asarray(payloads, dtype=self._dtype)
+        self._object_matrix()[object_ids] = payloads.reshape(
+            -1, self._geometry.cells_per_object
+        )
+
+    def object_bytes(self, object_ids) -> bytes:
+        """Raw bytes of the payloads for ``object_ids``, concatenated."""
+        return self.read_objects(object_ids).tobytes()
+
+    def load_object_bytes(self, object_ids, raw: bytes) -> None:
+        """Inverse of :meth:`object_bytes`: install raw payload bytes."""
+        payloads = np.frombuffer(raw, dtype=self._dtype)
+        self.write_objects(object_ids, payloads)
+
+    def full_image(self) -> bytes:
+        """Raw bytes of the entire padded state -- one full checkpoint image."""
+        return self._buffer.tobytes()
+
+    def load_full_image(self, raw: bytes) -> None:
+        """Install a full checkpoint image produced by :meth:`full_image`."""
+        data = np.frombuffer(raw, dtype=self._dtype)
+        if data.size != self._buffer.size:
+            raise GeometryError(
+                f"image has {data.size} cells, table expects {self._buffer.size}"
+            )
+        self._buffer[:] = data
+
+    # ------------------------------------------------------------------
+    # Whole-table operations
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "GameStateTable":
+        """Deep copy of the table (an eager in-memory snapshot)."""
+        clone = GameStateTable(self._geometry, dtype=self._dtype)
+        clone._buffer[:] = self._buffer
+        return clone
+
+    def equals(self, other: "GameStateTable") -> bool:
+        """Exact cell-for-cell equality with another table."""
+        return (
+            self._geometry == other._geometry
+            and self._dtype == other._dtype
+            and np.array_equal(self._buffer, other._buffer)
+        )
+
+    def fill_random(self, rng: np.random.Generator) -> None:
+        """Fill the table with random cell values (test/benchmark helper)."""
+        if np.issubdtype(self._dtype, np.integer):
+            info = np.iinfo(self._dtype)
+            values = rng.integers(
+                info.min, info.max, size=self._cells.size, dtype=self._dtype
+            )
+        else:
+            values = rng.random(self._cells.size).astype(self._dtype)
+        self._cells[:] = values

@@ -1,0 +1,152 @@
+"""Shared on-disk framing helpers: headers, records, and checksums.
+
+All multi-byte integers are little-endian.  Every header and record carries a
+CRC-32 so recovery can distinguish a torn write from valid data.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.config import StateGeometry
+from repro.errors import CorruptCheckpointError
+
+#: Common magic prefix for all repro storage files.
+MAGIC = b"RPRO"
+
+#: Storage format version.
+FORMAT_VERSION = 1
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 of ``data`` as an unsigned 32-bit integer."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Geometry stamp: embedded in every store so files cannot be opened with the
+# wrong table shape.
+# ---------------------------------------------------------------------------
+
+_GEOMETRY_STRUCT = struct.Struct("<qqqq")
+
+
+def pack_geometry(geometry: StateGeometry) -> bytes:
+    """Serialize a :class:`StateGeometry` (32 bytes)."""
+    return _GEOMETRY_STRUCT.pack(
+        geometry.rows, geometry.columns, geometry.cell_bytes, geometry.object_bytes
+    )
+
+
+def unpack_geometry(data: bytes) -> StateGeometry:
+    """Inverse of :func:`pack_geometry`."""
+    rows, columns, cell_bytes, object_bytes = _GEOMETRY_STRUCT.unpack(data)
+    return StateGeometry(
+        rows=rows, columns=columns, cell_bytes=cell_bytes, object_bytes=object_bytes
+    )
+
+
+GEOMETRY_BYTES = _GEOMETRY_STRUCT.size
+
+
+# ---------------------------------------------------------------------------
+# Backup-file header (double-backup organization)
+# ---------------------------------------------------------------------------
+
+#: Header state: no complete checkpoint has ever been committed to this file.
+STATE_EMPTY = 0
+#: Header state: a checkpoint write is in progress; the image is torn.
+STATE_IN_PROGRESS = 1
+#: Header state: the image is a complete, consistent checkpoint.
+STATE_COMPLETE = 2
+
+_HEADER_STRUCT = struct.Struct("<4sIq qq I")  # magic, version, state, epoch, tick, crc
+BACKUP_HEADER_BYTES = _HEADER_STRUCT.size + GEOMETRY_BYTES
+
+
+@dataclass(frozen=True)
+class BackupHeader:
+    """Metadata block at the start of each backup file."""
+
+    state: int
+    epoch: int
+    tick: int
+    geometry: StateGeometry
+
+    def pack(self) -> bytes:
+        geometry_bytes = pack_geometry(self.geometry)
+        body = _HEADER_STRUCT.pack(
+            MAGIC, FORMAT_VERSION, self.state, self.epoch, self.tick, 0
+        )
+        # CRC covers everything except the CRC field itself (last 4 bytes).
+        checksum = crc32(body[:-4] + geometry_bytes)
+        body = _HEADER_STRUCT.pack(
+            MAGIC, FORMAT_VERSION, self.state, self.epoch, self.tick, checksum
+        )
+        return body + geometry_bytes
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BackupHeader":
+        if len(data) < BACKUP_HEADER_BYTES:
+            raise CorruptCheckpointError(
+                f"backup header truncated: {len(data)} bytes"
+            )
+        body = data[: _HEADER_STRUCT.size]
+        geometry_bytes = data[_HEADER_STRUCT.size: BACKUP_HEADER_BYTES]
+        magic, version, state, epoch, tick, checksum = _HEADER_STRUCT.unpack(body)
+        if magic != MAGIC:
+            raise CorruptCheckpointError(f"bad backup magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise CorruptCheckpointError(
+                f"unsupported backup format version {version}"
+            )
+        if crc32(body[:-4] + geometry_bytes) != checksum:
+            raise CorruptCheckpointError("backup header CRC mismatch")
+        if state not in (STATE_EMPTY, STATE_IN_PROGRESS, STATE_COMPLETE):
+            raise CorruptCheckpointError(f"invalid backup state {state}")
+        return cls(
+            state=state, epoch=epoch, tick=tick,
+            geometry=unpack_geometry(geometry_bytes),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Log records (checkpoint log and action log share the framing)
+# ---------------------------------------------------------------------------
+
+_RECORD_STRUCT = struct.Struct("<4sBqqI I")  # magic, type, a, b, length, crc
+RECORD_HEADER_BYTES = _RECORD_STRUCT.size
+
+#: Checkpoint-log record types.
+RECORD_CHECKPOINT_BEGIN = 1
+RECORD_OBJECTS = 2
+RECORD_CHECKPOINT_COMMIT = 3
+#: Action-log record type.
+RECORD_TICK = 4
+
+
+def pack_record(record_type: int, a: int, b: int, payload: bytes) -> bytes:
+    """Frame one log record: typed header + CRC-protected payload."""
+    header = _RECORD_STRUCT.pack(MAGIC, record_type, a, b, len(payload), 0)
+    checksum = crc32(header[:-4] + payload)
+    header = _RECORD_STRUCT.pack(MAGIC, record_type, a, b, len(payload), checksum)
+    return header + payload
+
+
+def unpack_record_header(data: bytes):
+    """Parse a record header; returns ``(type, a, b, length, crc)``.
+
+    Raises :class:`CorruptCheckpointError` on bad magic; callers treat that
+    (and short reads) as the torn tail of the log.
+    """
+    magic, record_type, a, b, length, checksum = _RECORD_STRUCT.unpack(data)
+    if magic != MAGIC:
+        raise CorruptCheckpointError(f"bad record magic {magic!r}")
+    return record_type, a, b, length, checksum
+
+
+def verify_record(header_bytes: bytes, payload: bytes, checksum: int) -> bool:
+    """True if the payload matches the CRC recorded in the header."""
+    return crc32(header_bytes[:-4] + payload) == checksum

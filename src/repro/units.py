@@ -1,0 +1,74 @@
+"""Small helpers for byte and time quantities.
+
+The simulation model works in SI units throughout: seconds for durations and
+bytes (or bytes/second) for sizes and bandwidths.  These helpers exist to make
+configuration code and reports read like the paper ("60 MB/s", "2.2 GB/s",
+"17 msec") rather than as piles of scientific notation.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# The paper quotes decimal (SI) units for bandwidths, e.g. 60 MB/s disks and
+# 2.2 GB/s memory; we follow that convention for the MB/GB constructors.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+NANOSECOND = 1e-9
+
+
+def megabytes(value: float) -> float:
+    """Return *value* megabytes expressed in bytes (decimal, as in the paper)."""
+    return value * MB
+
+
+def gigabytes(value: float) -> float:
+    """Return *value* gigabytes expressed in bytes (decimal, as in the paper)."""
+    return value * GB
+
+
+def nanoseconds(value: float) -> float:
+    """Return *value* nanoseconds expressed in seconds."""
+    return value * NANOSECOND
+
+
+def milliseconds(value: float) -> float:
+    """Return *value* milliseconds expressed in seconds."""
+    return value * MILLISECOND
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human-friendly decimal unit suffix."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes >= GB:
+        return f"{num_bytes / GB:.2f} GB"
+    if num_bytes >= MB:
+        return f"{num_bytes / MB:.2f} MB"
+    if num_bytes >= KB:
+        return f"{num_bytes / KB:.2f} KB"
+    return f"{num_bytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with the unit the paper would use for its size."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.3f} ms"
+    if seconds >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.3f} us"
+    return f"{seconds / NANOSECOND:.1f} ns"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth as the paper does (e.g. ``60.0 MB/s``)."""
+    return f"{format_bytes(bytes_per_second)}/s"

@@ -1,0 +1,123 @@
+"""Figure 6: simulation vs real implementation, side by side.
+
+For each updates-per-tick point the harness runs the threaded real
+implementation (Naive-Snapshot and Copy-on-Update) and the analytic simulator
+*calibrated with this host's measured parameters* -- exactly how the paper
+validates its model ("we calibrated the parameters in the simulation with the
+micro-benchmarks described in Section 4.3").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.config import HardwareParameters, SimulationConfig, StateGeometry
+from repro.simulation.simulator import CheckpointSimulator
+from repro.validation.microbench import measure_host_parameters
+from repro.validation.realimpl import (
+    VALIDATION_GEOMETRY,
+    RealCheckpointServer,
+    ValidationRunResult,
+)
+from repro.workloads.zipf import ZipfTrace
+
+#: The two algorithms Section 6 implements for real.
+VALIDATED_ALGORITHMS = ("naive-snapshot", "copy-on-update")
+
+
+@dataclass(frozen=True)
+class ValidationComparison:
+    """One (algorithm, updates-per-tick) cell of the Figure 6 panels."""
+
+    algorithm_key: str
+    algorithm_name: str
+    updates_per_tick: int
+    simulated_overhead: float
+    measured_overhead: float
+    simulated_checkpoint: float
+    measured_checkpoint: float
+    simulated_recovery: float
+    measured_recovery: float
+
+    def overhead_ratio(self) -> float:
+        """Implementation / simulation overhead (paper observes up to ~3x)."""
+        if self.simulated_overhead == 0.0:
+            return float("inf")
+        return self.measured_overhead / self.simulated_overhead
+
+
+def run_validation_point(
+    updates_per_tick: int,
+    hardware: HardwareParameters,
+    geometry: StateGeometry = VALIDATION_GEOMETRY,
+    num_ticks: int = 90,
+    skew: float = 0.8,
+    tick_period: float = 0.0,
+    seed: int = 0,
+    directory: Optional[str] = None,
+) -> List[ValidationComparison]:
+    """Run both validated algorithms, real and simulated, at one update rate."""
+    config = SimulationConfig(hardware=hardware, geometry=geometry)
+    simulator = CheckpointSimulator(config)
+    trace = ZipfTrace(
+        geometry,
+        updates_per_tick=updates_per_tick,
+        skew=skew,
+        num_ticks=num_ticks,
+        seed=seed,
+    )
+    comparisons = []
+    for algorithm in VALIDATED_ALGORITHMS:
+        simulated = simulator.run(algorithm, trace)
+        with RealCheckpointServer(
+            algorithm,
+            geometry=geometry,
+            tick_period=tick_period,
+            seed=seed,
+            directory=directory,
+        ) as server:
+            measured: ValidationRunResult = server.run(
+                updates_per_tick, num_ticks, skew=skew
+            )
+        comparisons.append(
+            ValidationComparison(
+                algorithm_key=algorithm,
+                algorithm_name=measured.algorithm_name,
+                updates_per_tick=updates_per_tick,
+                simulated_overhead=simulated.avg_overhead,
+                measured_overhead=measured.avg_overhead,
+                simulated_checkpoint=simulated.avg_checkpoint_time,
+                measured_checkpoint=measured.avg_checkpoint_time,
+                simulated_recovery=simulated.recovery_time,
+                measured_recovery=measured.recovery_time,
+            )
+        )
+    return comparisons
+
+
+def run_validation_sweep(
+    updates_per_tick_values: Sequence[int] = (1_000, 4_000, 16_000, 64_000),
+    geometry: StateGeometry = VALIDATION_GEOMETRY,
+    num_ticks: int = 90,
+    hardware: Optional[HardwareParameters] = None,
+    quick_calibration: bool = True,
+    tick_period: float = 0.0,
+    seed: int = 0,
+) -> List[ValidationComparison]:
+    """The full Figure 6 sweep; measures host parameters once, reuses them."""
+    if hardware is None:
+        hardware = measure_host_parameters(quick=quick_calibration)
+    comparisons: List[ValidationComparison] = []
+    for updates_per_tick in updates_per_tick_values:
+        comparisons.extend(
+            run_validation_point(
+                updates_per_tick,
+                hardware=hardware,
+                geometry=geometry,
+                num_ticks=num_ticks,
+                tick_period=tick_period,
+                seed=seed,
+            )
+        )
+    return comparisons

@@ -1,0 +1,140 @@
+"""The update-trace protocol and its in-memory materialization.
+
+A trace is a sequence of ticks; each tick is a 1-D ``int64`` array of flat
+cell indices (row-major: ``row * columns + column``) that were updated during
+that tick, *in update order and with duplicates* -- an object may be updated
+more than once per tick and the cost model charges a dirty-bit test for every
+update.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+
+
+class UpdateTrace(ABC):
+    """Abstract base class for update traces.
+
+    Concrete traces are deterministic: iterating :meth:`ticks` twice yields
+    identical update streams, which recovery replay relies on.
+    """
+
+    def __init__(self, geometry: StateGeometry, num_ticks: int) -> None:
+        if num_ticks < 0:
+            raise TraceError(f"num_ticks must be >= 0, got {num_ticks}")
+        self._geometry = geometry
+        self._num_ticks = num_ticks
+
+    @property
+    def geometry(self) -> StateGeometry:
+        """Geometry of the state table this trace updates."""
+        return self._geometry
+
+    @property
+    def num_ticks(self) -> int:
+        """Number of ticks in the trace."""
+        return self._num_ticks
+
+    @abstractmethod
+    def ticks(self) -> Iterator[np.ndarray]:
+        """Yield one ``int64`` array of flat cell indices per tick."""
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.ticks()
+
+    def __len__(self) -> int:
+        return self._num_ticks
+
+    def materialize(self) -> "MaterializedTrace":
+        """Evaluate the whole trace into memory."""
+        return MaterializedTrace(self._geometry, list(self.ticks()))
+
+    def _check_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Validate one tick's cell array (used by concrete subclasses)."""
+        cells = np.ascontiguousarray(cells, dtype=np.int64)
+        if cells.ndim != 1:
+            raise TraceError(f"tick updates must be 1-D, got shape {cells.shape}")
+        if cells.size and (cells.min() < 0 or cells.max() >= self._geometry.num_cells):
+            raise TraceError(
+                "tick updates contain cell indices outside "
+                f"[0, {self._geometry.num_cells})"
+            )
+        return cells
+
+
+class MaterializedTrace(UpdateTrace):
+    """A trace held fully in memory as a list of per-tick cell arrays."""
+
+    def __init__(
+        self, geometry: StateGeometry, tick_updates: Sequence[np.ndarray]
+    ) -> None:
+        super().__init__(geometry, len(tick_updates))
+        self._tick_updates: List[np.ndarray] = [
+            self._check_cells(cells) for cells in tick_updates
+        ]
+
+    def ticks(self) -> Iterator[np.ndarray]:
+        return iter(self._tick_updates)
+
+    def tick(self, index: int) -> np.ndarray:
+        """Random access to one tick's updates."""
+        return self._tick_updates[index]
+
+    def total_updates(self) -> int:
+        """Total number of cell updates across all ticks."""
+        return sum(cells.size for cells in self._tick_updates)
+
+    def slice(self, start: int, stop: int) -> "MaterializedTrace":
+        """Sub-trace covering ticks ``[start, stop)``."""
+        if not 0 <= start <= stop <= self._num_ticks:
+            raise TraceError(
+                f"invalid tick slice [{start}, {stop}) of {self._num_ticks} ticks"
+            )
+        return MaterializedTrace(self._geometry, self._tick_updates[start:stop])
+
+    def materialize(self) -> "MaterializedTrace":
+        return self
+
+
+class GeneratedTrace(UpdateTrace):
+    """Base class for seeded, lazily-generated traces.
+
+    Subclasses implement :meth:`_generate_tick`, which receives a fresh
+    per-iteration random generator so that every call to :meth:`ticks`
+    reproduces the same stream.
+    """
+
+    def __init__(self, geometry: StateGeometry, num_ticks: int, seed: int) -> None:
+        super().__init__(geometry, num_ticks)
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """Seed controlling the trace's random stream."""
+        return self._seed
+
+    def _generate_tick(self, tick: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce the cell-index array for one tick.
+
+        Memoryless generators implement this; stateful ones (e.g. the
+        game-like trace with its evolving active set) override :meth:`ticks`
+        directly instead.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _generate_tick or "
+            "override ticks()"
+        )
+
+    def _make_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self._seed)
+
+    def ticks(self) -> Iterator[np.ndarray]:
+        rng = self._make_rng()
+        for tick in range(self._num_ticks):
+            yield self._check_cells(self._generate_tick(tick, rng))

@@ -1,0 +1,147 @@
+"""Statistical model of the Knights and Archers update trace (Table 5).
+
+The paper's prototype-game experiments (Section 5.4) use a trace with
+400,128 units x 13 attributes, in which "10% of the characters are active at
+any given moment and the active set changes over time.  Units leave and join
+the active set such that it is completely renewed every 100 ticks with high
+probability", averaging 35,590 attribute updates per tick -- mostly position
+updates ("possibly only in one dimension") while "other attributes such as
+health remain relatively stable".
+
+:class:`GameLikeTrace` reproduces those statistics without running the full
+game, which lets the Figure 5 experiments use the paper's exact geometry at
+Python-friendly speed.  (The real game lives in :mod:`repro.game` and emits
+genuine traces through :class:`repro.game.recorder.UpdateRecorder`; the
+checkpointing algorithms only ever observe the update stream, so matching the
+stream's statistics preserves their behaviour.)
+
+Default parameter derivation, for 400,128 units (A = 40,012 active):
+
+* every tick, 4.5% of the active set is swapped out (so the probability a
+  unit survives 100 ticks is 0.955**100 ~ 1%: "completely renewed every 100
+  ticks with high probability"); each swap writes the state attribute of the
+  leaver and the joiner;
+* each active unit moves with probability 0.6, updating one position
+  dimension (or both with probability 0.25);
+* each active unit has its health written with probability 0.05.
+
+Expected updates/tick = A * (0.6 * 1.25 + 0.05) + 2 * A * 0.045 ~ 35,600,
+matching Table 5's 35,590.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.config import GAME_GEOMETRY, StateGeometry
+from repro.errors import TraceError
+from repro.workloads.base import GeneratedTrace
+
+#: Attribute columns written by the model (indices into the 13 columns).
+COLUMN_X = 0
+COLUMN_Y = 1
+COLUMN_HEALTH = 2
+COLUMN_STATE = 4
+
+
+class GameLikeTrace(GeneratedTrace):
+    """Update trace with the Table 5 active-set and per-attribute statistics."""
+
+    def __init__(
+        self,
+        geometry: StateGeometry = GAME_GEOMETRY,
+        num_ticks: int = 1_000,
+        seed: int = 0,
+        active_fraction: float = 0.10,
+        swap_fraction: float = 0.045,
+        move_probability: float = 0.60,
+        second_dimension_probability: float = 0.25,
+        health_probability: float = 0.05,
+    ) -> None:
+        super().__init__(geometry, num_ticks, seed)
+        if geometry.columns <= COLUMN_STATE:
+            raise TraceError(
+                f"geometry needs at least {COLUMN_STATE + 1} columns, "
+                f"got {geometry.columns}"
+            )
+        for name, value in {
+            "active_fraction": active_fraction,
+            "swap_fraction": swap_fraction,
+            "move_probability": move_probability,
+            "second_dimension_probability": second_dimension_probability,
+            "health_probability": health_probability,
+        }.items():
+            if not 0.0 <= value <= 1.0:
+                raise TraceError(f"{name} must be in [0, 1], got {value}")
+        self._active_fraction = active_fraction
+        self._swap_fraction = swap_fraction
+        self._move_probability = move_probability
+        self._second_dimension_probability = second_dimension_probability
+        self._health_probability = health_probability
+
+    @property
+    def expected_updates_per_tick(self) -> float:
+        """Analytic expectation of updates per tick under the model."""
+        active = self._active_fraction * self._geometry.rows
+        per_active = (
+            self._move_probability * (1.0 + self._second_dimension_probability)
+            + self._health_probability
+        )
+        churn = 2.0 * active * self._swap_fraction
+        return active * per_active + churn
+
+    def ticks(self) -> Iterator[np.ndarray]:
+        rng = self._make_rng()
+        rows = self._geometry.rows
+        active_count = max(1, int(round(self._active_fraction * rows)))
+        # Initial active set: a random sample of units.
+        permutation = rng.permutation(rows)
+        active = permutation[:active_count].copy()
+        inactive = permutation[active_count:].copy()
+        for tick in range(self._num_ticks):
+            yield self._check_cells(self._tick_updates(rng, active, inactive))
+
+    def _tick_updates(
+        self,
+        rng: np.random.Generator,
+        active: np.ndarray,
+        inactive: np.ndarray,
+    ) -> np.ndarray:
+        parts = []
+        # --- Active-set churn: leavers and joiners write their state cell.
+        swap_count = min(
+            rng.binomial(active.size, self._swap_fraction), inactive.size
+        )
+        if swap_count:
+            leave_slots = rng.choice(active.size, size=swap_count, replace=False)
+            join_slots = rng.choice(inactive.size, size=swap_count, replace=False)
+            leavers = active[leave_slots].copy()
+            joiners = inactive[join_slots].copy()
+            active[leave_slots] = joiners
+            inactive[join_slots] = leavers
+            churn_rows = np.concatenate([leavers, joiners])
+            parts.append(self._geometry.cell_index(churn_rows, COLUMN_STATE))
+        # --- Movement: most active units update x and/or y.
+        moving = active[rng.random(active.size) < self._move_probability]
+        if moving.size:
+            first_dim = rng.integers(0, 2, size=moving.size)
+            parts.append(
+                self._geometry.cell_index(moving, np.where(first_dim == 0,
+                                                           COLUMN_X, COLUMN_Y))
+            )
+            both_mask = (
+                rng.random(moving.size) < self._second_dimension_probability
+            )
+            both = moving[both_mask]
+            if both.size:
+                second = np.where(first_dim[both_mask] == 0, COLUMN_Y, COLUMN_X)
+                parts.append(self._geometry.cell_index(both, second))
+        # --- Occasional health writes (combat is sparse relative to movement).
+        hurt = active[rng.random(active.size) < self._health_probability]
+        if hurt.size:
+            parts.append(self._geometry.cell_index(hurt, COLUMN_HEALTH))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)

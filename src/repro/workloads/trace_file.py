@@ -1,0 +1,76 @@
+"""Persist update traces as ``.npz`` files.
+
+The prototype game is "instrumented ... to log every update to a trace file,
+which we then use as input to our checkpoint simulator" (Section 4.4).  The
+on-disk format is a single compressed ``.npz`` holding the concatenated cell
+indices, per-tick offsets, and the geometry fields, so a trace round-trips
+exactly (same ticks, same update order, same duplicates).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads.base import MaterializedTrace, UpdateTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: UpdateTrace, path: Union[str, os.PathLike]) -> None:
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    tick_arrays = list(trace.ticks())
+    sizes = np.array([cells.size for cells in tick_arrays], dtype=np.int64)
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    if tick_arrays:
+        updates = np.concatenate(tick_arrays) if offsets[-1] else np.empty(
+            0, dtype=np.int64
+        )
+    else:
+        updates = np.empty(0, dtype=np.int64)
+    geometry = trace.geometry
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        updates=updates,
+        offsets=offsets,
+        rows=np.int64(geometry.rows),
+        columns=np.int64(geometry.columns),
+        cell_bytes=np.int64(geometry.cell_bytes),
+        object_bytes=np.int64(geometry.object_bytes),
+    )
+
+
+def load_trace(path: Union[str, os.PathLike]) -> MaterializedTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        try:
+            version = int(archive["version"])
+            updates = archive["updates"]
+            offsets = archive["offsets"]
+            geometry = StateGeometry(
+                rows=int(archive["rows"]),
+                columns=int(archive["columns"]),
+                cell_bytes=int(archive["cell_bytes"]),
+                object_bytes=int(archive["object_bytes"]),
+            )
+        except KeyError as exc:
+            raise TraceError(f"{path} is not a repro trace file: missing {exc}")
+    if version != _FORMAT_VERSION:
+        raise TraceError(
+            f"{path} has trace-format version {version}; "
+            f"this library reads version {_FORMAT_VERSION}"
+        )
+    if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != updates.size:
+        raise TraceError(f"{path} has inconsistent tick offsets")
+    if np.any(np.diff(offsets) < 0):
+        raise TraceError(f"{path} has decreasing tick offsets")
+    tick_arrays = [
+        updates[offsets[i]: offsets[i + 1]] for i in range(offsets.size - 1)
+    ]
+    return MaterializedTrace(geometry, tick_arrays)

@@ -1,0 +1,42 @@
+"""Uniform random update traces (the skew = 0 point of the sweep).
+
+A :class:`~repro.workloads.zipf.ZipfTrace` with ``theta = 0`` is uniform, but
+sampling uniform cells directly is both faster and exact, so the skew = 0
+experiments and many tests use this generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads.base import GeneratedTrace
+
+
+class UniformTrace(GeneratedTrace):
+    """Each tick updates ``updates_per_tick`` cells drawn uniformly at random."""
+
+    def __init__(
+        self,
+        geometry: StateGeometry,
+        updates_per_tick: int,
+        num_ticks: int = 1_000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(geometry, num_ticks, seed)
+        if updates_per_tick < 0:
+            raise TraceError(
+                f"updates_per_tick must be >= 0, got {updates_per_tick}"
+            )
+        self._updates_per_tick = updates_per_tick
+
+    @property
+    def updates_per_tick(self) -> int:
+        """Number of cell updates drawn per tick."""
+        return self._updates_per_tick
+
+    def _generate_tick(self, tick: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(
+            0, self._geometry.num_cells, size=self._updates_per_tick, dtype=np.int64
+        )

@@ -1,0 +1,50 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]})
+        assert "legend: o s" in chart
+        assert "|" in chart
+
+    def test_title_and_label(self):
+        chart = line_chart(
+            [1, 2], {"a": [1, 2]}, title="My Chart", y_label="ms"
+        )
+        assert chart.splitlines()[0] == "My Chart"
+        assert "ms" in chart
+
+    def test_log_scales(self):
+        chart = line_chart(
+            [1, 10, 100], {"a": [0.001, 0.01, 0.1]}, log_x=True, log_y=True
+        )
+        assert "legend" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [0.0, 1.0]}, log_y=True)
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1]})
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1]})
+
+    def test_needs_a_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {})
+
+    def test_flat_series_renders(self):
+        chart = line_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in chart

@@ -1,0 +1,54 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("Title", ["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["long-name", 12345])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "=" * 5
+        # All data rows have equal width formatting.
+        assert "long-name" in text
+        assert "12345" in text
+
+    def test_right_alignment_of_values(self):
+        table = TextTable("T", ["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["b", 100])
+        lines = table.render().splitlines()
+        assert lines[-2].endswith("  1") or lines[-2].endswith("  1".rstrip())
+        assert lines[-1].endswith("100")
+
+    def test_notes_rendered(self):
+        table = TextTable("T", ["a"])
+        table.add_row([1])
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_row_width_checked(self):
+        table = TextTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_align_spec_checked(self):
+        with pytest.raises(ValueError):
+            TextTable("T", ["a", "b"], align_right=[True])
+
+    def test_rows_property_copies(self):
+        table = TextTable("T", ["a"])
+        table.add_row([1])
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+    def test_str_equals_render(self):
+        table = TextTable("T", ["a"])
+        table.add_row([1])
+        assert str(table) == table.render()

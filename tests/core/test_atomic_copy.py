@@ -1,0 +1,63 @@
+"""Behavioural tests for Atomic-Copy-Dirty-Objects."""
+
+import numpy as np
+
+from repro.core.algorithms import AtomicCopyDirtyObjects
+from repro.core.plan import DiskLayout
+
+
+def drain_initial_checkpoints(policy):
+    """Complete both cold-start full checkpoints so bitmaps are steady."""
+    for _ in range(2):
+        policy.begin_checkpoint()
+        policy.finish_checkpoint()
+
+
+class TestAtomicCopyDirtyObjects:
+    def test_classification(self):
+        assert AtomicCopyDirtyObjects.eager_copy
+        assert AtomicCopyDirtyObjects.copies_dirty_only
+        assert AtomicCopyDirtyObjects.layout is DiskLayout.DOUBLE_BACKUP
+
+    def test_steady_state_writes_only_dirty(self):
+        policy = AtomicCopyDirtyObjects(16)
+        drain_initial_checkpoints(policy)
+        policy.handle_updates(np.array([2, 9]), 2)
+        plan = policy.begin_checkpoint()
+        assert plan.eager_copy_ids.tolist() == [2, 9]
+        assert plan.write_ids.tolist() == [2, 9]
+
+    def test_per_update_work_is_bits_only(self):
+        policy = AtomicCopyDirtyObjects(16)
+        policy.begin_checkpoint()
+        effects = policy.handle_updates(np.array([1, 2]), 50)
+        assert effects.bit_tests == 50
+        assert effects.lock_count == 0
+        assert effects.copy_count == 0
+
+    def test_update_during_checkpoint_lands_in_both_backups_eventually(self):
+        policy = AtomicCopyDirtyObjects(16)
+        drain_initial_checkpoints(policy)
+        policy.begin_checkpoint()              # backup 0, empty write set
+        policy.handle_updates(np.array([5]), 1)
+        policy.finish_checkpoint()
+        plan_backup1 = policy.begin_checkpoint()
+        assert plan_backup1.write_ids.tolist() == [5]
+        policy.finish_checkpoint()
+        plan_backup0 = policy.begin_checkpoint()
+        assert plan_backup0.write_ids.tolist() == [5]
+
+    def test_object_written_once_per_backup_despite_many_updates(self):
+        policy = AtomicCopyDirtyObjects(16)
+        drain_initial_checkpoints(policy)
+        for _ in range(5):
+            policy.handle_updates(np.array([7]), 1)
+        plan = policy.begin_checkpoint()
+        assert plan.write_ids.tolist() == [7]
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()
+        assert plan.write_ids.tolist() == [7]
+        policy.finish_checkpoint()
+        # Clean now: both backups hold object 7.
+        plan = policy.begin_checkpoint()
+        assert plan.write_ids.size == 0

@@ -1,0 +1,67 @@
+"""Behavioural tests for Copy-on-Update (the paper's recommended method)."""
+
+import numpy as np
+
+from repro.core.algorithms import CopyOnUpdate
+from repro.core.plan import DiskLayout
+
+
+def steady_policy(num_objects=16):
+    """A policy past its two cold-start full checkpoints."""
+    policy = CopyOnUpdate(num_objects)
+    for _ in range(2):
+        policy.begin_checkpoint()
+        policy.finish_checkpoint()
+    return policy
+
+
+class TestCopyOnUpdate:
+    def test_classification(self):
+        assert not CopyOnUpdate.eager_copy
+        assert CopyOnUpdate.copies_dirty_only
+        assert CopyOnUpdate.layout is DiskLayout.DOUBLE_BACKUP
+
+    def test_no_eager_copy(self):
+        policy = CopyOnUpdate(16)
+        plan = policy.begin_checkpoint()
+        assert plan.eager_copy_ids.size == 0
+
+    def test_copies_only_write_set_members(self):
+        policy = steady_policy()
+        policy.handle_updates(np.array([3]), 1)   # dirty for both backups
+        policy.begin_checkpoint()                 # write set = {3}
+        effects = policy.handle_updates(np.array([3, 8]), 2)
+        # Both first touches lock; only the write-set member is copied.
+        assert effects.lock_count == 2
+        assert effects.copy_ids.tolist() == [3]
+
+    def test_copy_once_per_checkpoint(self):
+        policy = steady_policy()
+        policy.handle_updates(np.array([3]), 1)
+        policy.begin_checkpoint()
+        first = policy.handle_updates(np.array([3]), 1)
+        assert first.copy_count == 1
+        second = policy.handle_updates(np.array([3]), 5)
+        assert second.copy_count == 0
+        assert second.lock_count == 0
+        assert second.bit_tests == 5
+
+    def test_restricts_copies_to_current_backup_dirt(self):
+        """Section 5.4: Copy-on-Update copies less than Dribble because only
+        objects dirtied since the current backup's last image need saving."""
+        policy = steady_policy()
+        policy.begin_checkpoint()              # backup 0, empty write set
+        effects = policy.handle_updates(np.array([5]), 1)
+        assert effects.copy_count == 0         # 5 not in this write set
+        policy.finish_checkpoint()
+        policy.begin_checkpoint()              # backup 1: write set = {5}
+        effects = policy.handle_updates(np.array([5]), 1)
+        assert effects.copy_count == 1
+
+    def test_update_while_inactive_only_marks_dirty(self):
+        policy = CopyOnUpdate(16)
+        effects = policy.handle_updates(np.array([1]), 1)
+        assert effects.bit_tests == 1
+        assert effects.lock_count == 0
+        plan = policy.begin_checkpoint()
+        assert plan.writes_everything() or 1 in plan.write_ids.tolist()

@@ -1,0 +1,73 @@
+"""Behavioural tests for Copy-on-Update-Partial-Redo."""
+
+import numpy as np
+
+from repro.core.algorithms import CopyOnUpdatePartialRedo
+from repro.core.plan import DiskLayout
+
+
+class TestCopyOnUpdatePartialRedo:
+    def test_classification(self):
+        assert not CopyOnUpdatePartialRedo.eager_copy
+        assert CopyOnUpdatePartialRedo.copies_dirty_only
+        assert CopyOnUpdatePartialRedo.layout is DiskLayout.LOG
+
+    def test_never_copies_eagerly(self):
+        policy = CopyOnUpdatePartialRedo(16, full_dump_period=2)
+        for _ in range(4):
+            plan = policy.begin_checkpoint()
+            assert plan.eager_copy_ids.size == 0
+            policy.finish_checkpoint()
+
+    def test_full_dump_cadence(self):
+        policy = CopyOnUpdatePartialRedo(16, full_dump_period=4)
+        dumps = []
+        for _ in range(8):
+            plan = policy.begin_checkpoint()
+            dumps.append(plan.is_full_dump)
+            policy.finish_checkpoint()
+        assert dumps == [False, False, False, True] * 2
+
+    def test_partial_checkpoint_copies_write_set_only(self):
+        policy = CopyOnUpdatePartialRedo(16, full_dump_period=100)
+        policy.begin_checkpoint()  # cold start writes everything
+        policy.finish_checkpoint()
+        policy.handle_updates(np.array([2]), 1)
+        policy.begin_checkpoint()  # write set = {2}
+        effects = policy.handle_updates(np.array([2, 7]), 2)
+        assert effects.copy_ids.tolist() == [2]
+        assert effects.lock_count == 2
+
+    def test_full_dump_copies_all_first_touches(self):
+        policy = CopyOnUpdatePartialRedo(16, full_dump_period=1)
+        plan = policy.begin_checkpoint()
+        assert plan.is_full_dump
+        effects = policy.handle_updates(np.array([1, 2]), 2)
+        assert effects.copy_ids.tolist() == [1, 2]
+
+    def test_full_dump_clears_dirty_set(self):
+        policy = CopyOnUpdatePartialRedo(16, full_dump_period=2)
+        policy.begin_checkpoint()
+        policy.handle_updates(np.array([9]), 1)
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()       # full dump (index 1)
+        assert plan.is_full_dump
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()       # partial after the dump
+        assert plan.write_ids.size == 0
+
+    def test_update_during_full_dump_redirties(self):
+        policy = CopyOnUpdatePartialRedo(16, full_dump_period=1)
+        policy.begin_checkpoint()
+        policy.handle_updates(np.array([6]), 1)
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()       # full dump again (C = 1)
+        assert plan.is_full_dump               # write set is everything
+        policy.finish_checkpoint()
+        # With C = 100 the dirty carry-over is observable:
+        policy2 = CopyOnUpdatePartialRedo(16, full_dump_period=100)
+        policy2.begin_checkpoint()
+        policy2.handle_updates(np.array([6]), 1)
+        policy2.finish_checkpoint()
+        plan = policy2.begin_checkpoint()
+        assert plan.write_ids.tolist() == [6]

@@ -1,0 +1,97 @@
+"""Tests for the checkpointing algorithmic framework driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CheckpointFramework, SubroutineExecutor
+from repro.core.registry import make_policy
+
+
+class ScriptedExecutor(SubroutineExecutor):
+    """Records calls; completion is controlled by the test."""
+
+    def __init__(self):
+        self.copy_calls = []
+        self.write_calls = []
+        self.update_calls = []
+        self.finished = True
+
+    def copy_to_memory(self, plan):
+        self.copy_calls.append(plan)
+        return 0.005
+
+    def begin_stable_write(self, plan):
+        self.write_calls.append(plan)
+        self.finished = False
+
+    def stable_write_finished(self):
+        return self.finished
+
+    def handle_updates(self, effects):
+        self.update_calls.append(effects)
+        return 0.001
+
+
+@pytest.fixture
+def framework():
+    return CheckpointFramework(
+        make_policy("copy-on-update", 16), ScriptedExecutor()
+    )
+
+
+class TestEndOfTick:
+    def test_first_boundary_starts_a_checkpoint(self, framework):
+        boundary = framework.end_of_tick()
+        assert boundary.started is not None
+        assert boundary.finished is None
+        assert boundary.sync_pause == 0.005
+        assert framework.active_plan is boundary.started
+
+    def test_no_new_checkpoint_while_write_in_flight(self, framework):
+        framework.end_of_tick()
+        boundary = framework.end_of_tick()
+        assert boundary.started is None
+        assert boundary.finished is None
+        assert boundary.sync_pause == 0.0
+
+    def test_finish_then_start_same_boundary(self, framework):
+        first = framework.end_of_tick()
+        framework.executor.finished = True
+        boundary = framework.end_of_tick()
+        assert boundary.finished is first.started
+        assert boundary.started is not None
+        assert boundary.started.checkpoint_index == 1
+
+    def test_back_to_back_checkpoint_indices(self, framework):
+        indices = []
+        for _ in range(4):
+            framework.executor.finished = True
+            boundary = framework.end_of_tick()
+            indices.append(boundary.started.checkpoint_index)
+        assert indices == [0, 1, 2, 3]
+
+    def test_policy_sees_finish(self, framework):
+        framework.end_of_tick()
+        assert framework.policy.checkpoint_active
+        framework.executor.finished = True
+        framework.end_of_tick()
+        # A new checkpoint began immediately, so still active, but two began.
+        assert framework.policy.checkpoints_started == 2
+
+
+class TestProcessUpdates:
+    def test_routes_effects_to_executor(self, framework):
+        framework.end_of_tick()
+        overhead = framework.process_updates(np.array([1, 2]), 5)
+        assert overhead == 0.001
+        executor = framework.executor
+        assert len(executor.update_calls) == 1
+        assert executor.update_calls[0].bit_tests == 5
+
+    def test_subroutine_order_copy_before_write(self, framework):
+        framework.end_of_tick()
+        executor = framework.executor
+        assert len(executor.copy_calls) == 1
+        assert len(executor.write_calls) == 1
+        # Copy-To-Memory ran before Write-*-To-Stable-Storage (same plan).
+        assert executor.copy_calls[0] is executor.write_calls[0]

@@ -1,0 +1,42 @@
+"""Behavioural tests for Naive-Snapshot."""
+
+import numpy as np
+
+from repro.core.algorithms import NaiveSnapshot
+from repro.core.plan import DiskLayout
+
+
+class TestNaiveSnapshot:
+    def test_classification(self):
+        assert NaiveSnapshot.eager_copy
+        assert not NaiveSnapshot.copies_dirty_only
+        assert NaiveSnapshot.layout is DiskLayout.DOUBLE_BACKUP
+
+    def test_eagerly_copies_everything_every_checkpoint(self):
+        policy = NaiveSnapshot(16)
+        for _ in range(3):
+            plan = policy.begin_checkpoint()
+            assert plan.eager_copy_ids.tolist() == list(range(16))
+            assert plan.writes_everything()
+            policy.finish_checkpoint()
+
+    def test_eager_copy_is_one_contiguous_run(self):
+        policy = NaiveSnapshot(16)
+        plan = policy.begin_checkpoint()
+        diffs = np.diff(plan.eager_copy_ids)
+        assert (diffs == 1).all()
+
+    def test_no_per_update_work(self):
+        policy = NaiveSnapshot(16)
+        policy.begin_checkpoint()
+        effects = policy.handle_updates(np.array([0, 5, 9]), 100)
+        assert effects.bit_tests == 0
+        assert effects.lock_count == 0
+        assert effects.copy_count == 0
+
+    def test_never_full_dump(self):
+        policy = NaiveSnapshot(16, full_dump_period=2)
+        for _ in range(4):
+            plan = policy.begin_checkpoint()
+            assert not plan.is_full_dump
+            policy.finish_checkpoint()

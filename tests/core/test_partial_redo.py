@@ -1,0 +1,75 @@
+"""Behavioural tests for Partial-Redo."""
+
+import numpy as np
+
+from repro.core.algorithms import PartialRedo
+from repro.core.plan import DiskLayout
+
+
+class TestPartialRedo:
+    def test_classification(self):
+        assert PartialRedo.eager_copy
+        assert PartialRedo.copies_dirty_only
+        assert PartialRedo.layout is DiskLayout.LOG
+
+    def test_writes_dirty_objects_to_log(self):
+        policy = PartialRedo(16, full_dump_period=100)
+        policy.begin_checkpoint()   # cold start: everything
+        policy.finish_checkpoint()
+        policy.handle_updates(np.array([4]), 1)
+        plan = policy.begin_checkpoint()
+        assert plan.write_ids.tolist() == [4]
+        assert plan.eager_copy_ids.tolist() == [4]
+        assert not plan.is_full_dump
+
+    def test_full_dump_every_c_checkpoints(self):
+        policy = PartialRedo(16, full_dump_period=3)
+        dumps = []
+        for _ in range(9):
+            plan = policy.begin_checkpoint()
+            dumps.append(plan.is_full_dump)
+            policy.finish_checkpoint()
+        assert dumps == [False, False, True] * 3
+
+    def test_full_dump_uses_dribble_semantics(self):
+        """No eager copy during the full dump; old values saved on update."""
+        policy = PartialRedo(16, full_dump_period=1)
+        plan = policy.begin_checkpoint()
+        assert plan.is_full_dump
+        assert plan.eager_copy_ids.size == 0
+        assert plan.writes_everything()
+        effects = policy.handle_updates(np.array([3]), 1)
+        assert effects.copy_ids.tolist() == [3]
+        assert effects.lock_count == 1
+
+    def test_partial_checkpoints_do_not_copy_on_update(self):
+        policy = PartialRedo(16, full_dump_period=100)
+        policy.begin_checkpoint()
+        policy.finish_checkpoint()
+        policy.handle_updates(np.array([4]), 1)
+        policy.begin_checkpoint()
+        effects = policy.handle_updates(np.array([5]), 1)
+        assert effects.copy_count == 0
+        assert effects.lock_count == 0
+        assert effects.bit_tests == 1
+
+    def test_updates_during_full_dump_stay_dirty(self):
+        policy = PartialRedo(16, full_dump_period=2)
+        policy.begin_checkpoint()            # partial (cold: everything)
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()     # full dump (index 1, C=2)
+        assert plan.is_full_dump
+        policy.handle_updates(np.array([9]), 1)
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()     # partial again
+        assert plan.write_ids.tolist() == [9]
+
+    def test_dirty_set_cleared_after_checkpoint(self):
+        policy = PartialRedo(16, full_dump_period=100)
+        policy.begin_checkpoint()
+        policy.finish_checkpoint()
+        policy.handle_updates(np.array([2]), 1)
+        policy.begin_checkpoint()
+        policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()
+        assert plan.write_ids.size == 0

@@ -1,0 +1,47 @@
+"""Tests for plan/effect value types."""
+
+import numpy as np
+from repro.core.plan import CheckpointPlan, DiskLayout, UpdateEffects, empty_ids
+
+
+class TestCheckpointPlan:
+    def _plan(self, write_ids):
+        return CheckpointPlan(
+            checkpoint_index=0,
+            eager_copy_ids=empty_ids(),
+            write_ids=write_ids,
+            layout=DiskLayout.LOG,
+        )
+
+    def test_write_count_explicit(self):
+        plan = self._plan(np.array([1, 2, 3]))
+        assert plan.write_count(100) == 3
+        assert not plan.writes_everything()
+
+    def test_write_count_all(self):
+        plan = self._plan(None)
+        assert plan.write_count(100) == 100
+        assert plan.writes_everything()
+
+
+class TestUpdateEffects:
+    def test_none(self):
+        effects = UpdateEffects.none()
+        assert effects.bit_tests == 0
+        assert effects.lock_count == 0
+        assert effects.copy_count == 0
+
+    def test_counts(self):
+        effects = UpdateEffects(
+            bit_tests=10,
+            first_touch_ids=np.array([1, 2, 3]),
+            copy_ids=np.array([2]),
+        )
+        assert effects.lock_count == 3
+        assert effects.copy_count == 1
+
+
+class TestDiskLayout:
+    def test_values(self):
+        assert DiskLayout.LOG.value == "log"
+        assert DiskLayout.DOUBLE_BACKUP.value == "double-backup"

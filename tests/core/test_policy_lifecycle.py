@@ -1,0 +1,59 @@
+"""Tests for the shared policy lifecycle (begin/finish/handle discipline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import ALGORITHM_KEYS, make_policy
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(params=ALGORITHM_KEYS)
+def policy(request):
+    return make_policy(request.param, num_objects=32)
+
+
+class TestLifecycle:
+    def test_begin_twice_rejected(self, policy):
+        policy.begin_checkpoint()
+        with pytest.raises(ConfigurationError):
+            policy.begin_checkpoint()
+
+    def test_finish_without_begin_rejected(self, policy):
+        with pytest.raises(ConfigurationError):
+            policy.finish_checkpoint()
+
+    def test_begin_finish_cycles(self, policy):
+        for index in range(5):
+            plan = policy.begin_checkpoint()
+            assert plan.checkpoint_index == index
+            assert policy.checkpoint_active
+            policy.finish_checkpoint()
+            assert not policy.checkpoint_active
+        assert policy.checkpoints_started == 5
+
+    def test_layout_consistent_with_class(self, policy):
+        plan = policy.begin_checkpoint()
+        assert plan.layout is type(policy).layout
+
+    def test_update_count_smaller_than_uniques_rejected(self, policy):
+        with pytest.raises(ConfigurationError):
+            policy.handle_updates(np.array([1, 2, 3]), 2)
+
+    def test_rejects_bad_construction(self):
+        for key in ALGORITHM_KEYS:
+            with pytest.raises(ConfigurationError):
+                make_policy(key, num_objects=0)
+            with pytest.raises(ConfigurationError):
+                make_policy(key, num_objects=4, full_dump_period=0)
+
+    def test_repr_mentions_progress(self, policy):
+        policy.begin_checkpoint()
+        assert "checkpoints=1" in repr(policy)
+
+
+class TestFirstCheckpointWritesEverything:
+    """Nothing is on disk initially, so checkpoint 0 must cover the state."""
+
+    def test_first_write_set_is_full(self, policy):
+        plan = policy.begin_checkpoint()
+        assert plan.write_count(32) == 32

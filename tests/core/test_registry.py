@@ -1,0 +1,88 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.core.plan import DiskLayout
+from repro.core.registry import (
+    ALGORITHM_KEYS,
+    algorithm_class,
+    all_algorithm_classes,
+    make_policy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_six_algorithms(self):
+        assert len(ALGORITHM_KEYS) == 6
+        assert len(all_algorithm_classes()) == 6
+
+    def test_figure_order(self):
+        assert ALGORITHM_KEYS == (
+            "naive-snapshot",
+            "dribble",
+            "atomic-copy",
+            "partial-redo",
+            "copy-on-update",
+            "cou-partial-redo",
+        )
+
+    def test_lookup_by_key(self):
+        assert algorithm_class("copy-on-update").name == "Copy-on-Update"
+
+    def test_lookup_by_display_name(self):
+        assert algorithm_class("Naive-Snapshot").key == "naive-snapshot"
+
+    def test_lookup_case_insensitive(self):
+        assert algorithm_class("COPY-ON-UPDATE").key == "copy-on-update"
+
+    def test_unknown_rejected_with_suggestions(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            algorithm_class("aries")
+        assert "copy-on-update" in str(excinfo.value)
+
+    def test_make_policy_fresh_instances(self):
+        a = make_policy("dribble", 8)
+        b = make_policy("dribble", 8)
+        assert a is not b
+        assert a.num_objects == 8
+
+    def test_make_policy_forwards_full_dump_period(self):
+        policy = make_policy("partial-redo", 8, full_dump_period=4)
+        assert policy.full_dump_period == 4
+
+
+class TestTable1Coverage:
+    """The six algorithms fill the populated cells of Table 1 exactly."""
+
+    def test_design_space_cells(self):
+        cells = {
+            (cls.eager_copy, cls.copies_dirty_only, cls.layout)
+            for cls in all_algorithm_classes()
+        }
+        assert cells == {
+            (True, False, DiskLayout.DOUBLE_BACKUP),   # Naive-Snapshot
+            (False, False, DiskLayout.LOG),            # Dribble
+            (True, True, DiskLayout.DOUBLE_BACKUP),    # Atomic-Copy
+            (True, True, DiskLayout.LOG),              # Partial-Redo
+            (False, True, DiskLayout.DOUBLE_BACKUP),   # Copy-on-Update
+            (False, True, DiskLayout.LOG),             # COU-Partial-Redo
+        }
+
+    def test_subroutine_tables_complete(self):
+        required = {
+            "Copy-To-Memory",
+            "Write-Copies-To-Stable-Storage",
+            "Handle-Update",
+            "Write-Objects-To-Stable-Storage",
+        }
+        for cls in all_algorithm_classes():
+            assert set(cls.SUBROUTINES) == required
+
+    def test_eager_methods_have_noop_handlers(self):
+        """Table 2: eager methods' Handle-Update is a no-op."""
+        for cls in all_algorithm_classes():
+            if cls.eager_copy:
+                assert cls.SUBROUTINES["Handle-Update"] == "No-op"
+            else:
+                assert cls.SUBROUTINES["Handle-Update"].startswith("First touched")

@@ -1,0 +1,29 @@
+"""Tests for the tick-application contract types."""
+
+import numpy as np
+import pytest
+
+from repro.engine.app import TickUpdatesPlan
+
+
+class TestTickUpdatesPlan:
+    def test_counts(self):
+        plan = TickUpdatesPlan(
+            rows=np.array([1, 2]),
+            columns=np.array([0, 1]),
+            values=np.array([1.0, 2.0], dtype=np.float32),
+        )
+        assert plan.update_count == 2
+
+    def test_empty(self):
+        plan = TickUpdatesPlan.empty(np.float32)
+        assert plan.update_count == 0
+        assert plan.values.dtype == np.float32
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TickUpdatesPlan(
+                rows=np.array([1, 2]),
+                columns=np.array([0]),
+                values=np.array([1.0]),
+            )

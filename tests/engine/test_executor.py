@@ -1,0 +1,217 @@
+"""Tests for the real subroutine executor."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.core.plan import CheckpointPlan, DiskLayout, UpdateEffects, empty_ids
+from repro.engine.executor import RealExecutor
+from repro.errors import EngineError
+from repro.state.table import GameStateTable
+from repro.storage.double_backup import DoubleBackupStore
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=8, columns=8, cell_bytes=4, object_bytes=32)
+
+
+@pytest.fixture
+def table(geometry):
+    table = GameStateTable(geometry, dtype=np.uint32)
+    table.flat[:] = np.arange(geometry.num_cells, dtype=np.uint32)
+    return table
+
+
+@pytest.fixture
+def store(tmp_path, geometry):
+    with DoubleBackupStore(tmp_path, geometry) as opened:
+        yield opened
+
+
+def plan_all(index=0):
+    return CheckpointPlan(
+        checkpoint_index=index,
+        eager_copy_ids=empty_ids(),
+        write_ids=None,
+        layout=DiskLayout.DOUBLE_BACKUP,
+    )
+
+
+class TestDrainAndCommit:
+    def test_full_drain_commits(self, table, store):
+        executor = RealExecutor(table, store)
+        executor.set_current_tick(5)
+        executor.copy_to_memory(plan_all())
+        executor.begin_stable_write(plan_all())
+        assert not executor.stable_write_finished()
+        written = executor.drain()
+        assert written == table.geometry.checkpoint_bytes
+        assert executor.stable_write_finished()
+        assert store.latest_consistent().tick == 5
+
+    def test_budgeted_drain_is_incremental(self, table, store):
+        executor = RealExecutor(
+            table, store, writer_bytes_per_tick=32  # one object per drain
+        )
+        executor.set_current_tick(0)
+        executor.copy_to_memory(plan_all())
+        executor.begin_stable_write(plan_all())
+        drains = 0
+        while not executor.stable_write_finished():
+            assert executor.drain() == 32
+            drains += 1
+        assert drains == table.geometry.num_objects
+
+    def test_commit_records_cut_tick_not_commit_tick(self, table, store):
+        executor = RealExecutor(table, store, writer_bytes_per_tick=32)
+        executor.set_current_tick(3)           # the cut
+        executor.copy_to_memory(plan_all())
+        executor.begin_stable_write(plan_all())
+        for tick in range(4, 4 + table.geometry.num_objects):
+            executor.set_current_tick(tick)    # time moves on while draining
+            executor.drain()
+        assert store.latest_consistent().tick == 3
+
+    def test_image_matches_table(self, table, store, geometry):
+        executor = RealExecutor(table, store)
+        executor.set_current_tick(0)
+        executor.copy_to_memory(plan_all())
+        executor.begin_stable_write(plan_all())
+        executor.drain()
+        image = store.read_image(0)
+        assert image == table.full_image()
+
+    def test_empty_write_set_commits_immediately(self, table, store):
+        plan = CheckpointPlan(
+            checkpoint_index=0,
+            eager_copy_ids=empty_ids(),
+            write_ids=empty_ids(),
+            layout=DiskLayout.DOUBLE_BACKUP,
+        )
+        executor = RealExecutor(table, store)
+        executor.set_current_tick(7)
+        executor.copy_to_memory(plan)
+        executor.begin_stable_write(plan)
+        assert executor.stable_write_finished()
+        assert store.latest_consistent().tick == 7
+
+
+class TestCutConsistency:
+    def test_eager_copy_preserves_cut_values(self, table, store, geometry):
+        """Updates after the cut must not leak into the checkpoint."""
+        all_ids = np.arange(geometry.num_objects, dtype=np.int64)
+        plan = CheckpointPlan(
+            checkpoint_index=0,
+            eager_copy_ids=all_ids,
+            write_ids=None,
+            layout=DiskLayout.DOUBLE_BACKUP,
+        )
+        executor = RealExecutor(table, store, writer_bytes_per_tick=32)
+        executor.set_current_tick(0)
+        cut_image = table.full_image()
+        executor.copy_to_memory(plan)
+        executor.begin_stable_write(plan)
+        table.flat[:] = 999_999  # post-cut mutation
+        while not executor.stable_write_finished():
+            executor.drain()
+        assert store.read_image(0) == cut_image
+
+    def test_copy_on_update_preserves_cut_values(self, table, store, geometry):
+        plan = plan_all()
+        executor = RealExecutor(table, store, writer_bytes_per_tick=32)
+        executor.set_current_tick(0)
+        cut_image = table.full_image()
+        executor.copy_to_memory(plan)      # no eager ids: pure COU
+        executor.begin_stable_write(plan)
+        # First-touch old-value save, then the update -- the engine's order.
+        touched = np.array([0, 3], dtype=np.int64)
+        executor.handle_updates(
+            UpdateEffects(bit_tests=2, first_touch_ids=touched, copy_ids=touched)
+        )
+        table.write_objects(touched, np.full((2, 8), 7, dtype=np.uint32))
+        while not executor.stable_write_finished():
+            executor.drain()
+        assert store.read_image(0) == cut_image
+
+    def test_copy_once_guard(self, table, store):
+        """A second save of the same object must not clobber the first."""
+        executor = RealExecutor(table, store)
+        executor.set_current_tick(0)
+        executor.copy_to_memory(plan_all())
+        executor.begin_stable_write(plan_all())
+        ids = np.array([2], dtype=np.int64)
+        original = table.read_objects(ids).copy()
+        executor.handle_updates(
+            UpdateEffects(bit_tests=1, first_touch_ids=ids, copy_ids=ids)
+        )
+        table.write_objects(ids, np.full((1, 8), 1, dtype=np.uint32))
+        # A buggy caller reports the same object as needing a copy again.
+        executor.handle_updates(
+            UpdateEffects(bit_tests=1, first_touch_ids=ids, copy_ids=ids)
+        )
+        executor.drain()
+        restored = np.frombuffer(
+            store.read_objects(0, ids), dtype=np.uint32
+        ).reshape(1, 8)
+        assert np.array_equal(restored, original)
+
+
+class TestLogStoreExecutor:
+    def test_full_dump_and_partial_via_log(self, table, geometry, tmp_path):
+        from repro.storage.checkpoint_log import CheckpointLogStore
+
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            executor = RealExecutor(table, store, writer_bytes_per_tick=64)
+            # Checkpoint 0: a full dump straight to the log.
+            plan = CheckpointPlan(
+                checkpoint_index=0,
+                eager_copy_ids=empty_ids(),
+                write_ids=None,
+                layout=DiskLayout.LOG,
+                is_full_dump=True,
+            )
+            executor.set_current_tick(4)
+            executor.copy_to_memory(plan)
+            executor.begin_stable_write(plan)
+            while not executor.stable_write_finished():
+                executor.drain()
+            image, epoch, tick = store.restore_image()
+            assert (epoch, tick) == (1, 4)
+            assert image == table.full_image()
+            # Checkpoint 1: a partial append of one changed object.
+            table.write_objects(
+                np.array([3]), np.full((1, 8), 77, dtype=np.uint32)
+            )
+            plan = CheckpointPlan(
+                checkpoint_index=1,
+                eager_copy_ids=empty_ids(),
+                write_ids=np.array([3], dtype=np.int64),
+                layout=DiskLayout.LOG,
+            )
+            executor.set_current_tick(9)
+            executor.copy_to_memory(plan)
+            executor.begin_stable_write(plan)
+            executor.drain()
+            image, epoch, tick = store.restore_image()
+            assert (epoch, tick) == (2, 9)
+            assert image == table.full_image()
+
+
+class TestValidation:
+    def test_geometry_mismatch_rejected(self, table, tmp_path):
+        other = StateGeometry(rows=16, columns=8, cell_bytes=4, object_bytes=32)
+        with DoubleBackupStore(tmp_path, other) as store:
+            with pytest.raises(EngineError):
+                RealExecutor(table, store)
+
+    def test_bad_budget_rejected(self, table, store):
+        with pytest.raises(EngineError):
+            RealExecutor(table, store, writer_bytes_per_tick=0)
+
+    def test_overlapping_writes_rejected(self, table, store):
+        executor = RealExecutor(table, store, writer_bytes_per_tick=32)
+        executor.set_current_tick(0)
+        executor.begin_stable_write(plan_all(0))
+        with pytest.raises(EngineError):
+            executor.begin_stable_write(plan_all(1))

@@ -1,0 +1,127 @@
+"""Tests for crash recovery: restore + logical-log replay."""
+
+import pytest
+
+from repro.core.registry import ALGORITHM_KEYS
+from repro.engine.recovery import RecoveryManager
+from repro.engine.server import DurableGameServer
+
+
+def run_pair(app_factory, tmp_path, algorithm, ticks, seed=7, **server_kwargs):
+    """Run a reference server and an identical crashing server."""
+    reference = DurableGameServer(
+        app_factory(), tmp_path / "reference", algorithm=algorithm, seed=seed,
+        **server_kwargs,
+    )
+    reference.run_ticks(ticks)
+    victim = DurableGameServer(
+        app_factory(), tmp_path / "victim", algorithm=algorithm, seed=seed,
+        **server_kwargs,
+    )
+    victim.run_ticks(ticks)
+    victim.crash()
+    return reference, victim
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("algorithm", ALGORITHM_KEYS)
+    def test_recovery_is_bit_exact(self, algorithm, random_walk_app, tmp_path):
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(factory, tmp_path, algorithm, ticks=60)
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=7
+        ).recover()
+        assert report.table.equals(reference.table)
+        assert report.next_tick == 60
+        reference.close()
+
+    def test_recovery_without_any_checkpoint(self, random_walk_app, tmp_path):
+        """Crash before the first commit: seed fallback + full replay."""
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(
+            factory, tmp_path, "copy-on-update", ticks=2,
+            writer_bytes_per_tick=64,
+        )
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=7
+        ).recover()
+        assert report.used_seed_fallback
+        assert report.ticks_replayed == 2
+        assert report.table.equals(reference.table)
+        reference.close()
+
+    def test_recovered_rng_continues_identically(
+        self, random_walk_app, tmp_path
+    ):
+        """After recovery the generator must continue the pre-crash stream."""
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(factory, tmp_path, "copy-on-update",
+                                     ticks=30)
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=7
+        ).recover()
+        # Drive both worlds three more ticks by hand.
+        table_ref, rng_ref = reference.table, reference._rng
+        table_rec, rng_rec = report.table, report.rng
+        for tick in range(30, 33):
+            for table, rng in ((table_ref, rng_ref), (table_rec, rng_rec)):
+                plan = random_walk_app.plan_tick(table, rng, tick)
+                table.apply_updates(plan.rows, plan.columns, plan.values)
+        assert table_rec.equals(table_ref)
+        reference.close()
+
+    def test_recovery_timings_measured(self, random_walk_app, tmp_path):
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(factory, tmp_path, "copy-on-update",
+                                     ticks=40)
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=7
+        ).recover()
+        assert report.restore_seconds > 0
+        assert report.replay_seconds >= 0
+        assert report.recovery_seconds == pytest.approx(
+            report.restore_seconds + report.replay_seconds
+        )
+        reference.close()
+
+    def test_report_metadata(self, random_walk_app, tmp_path):
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(factory, tmp_path, "naive-snapshot",
+                                     ticks=50)
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=7
+        ).recover()
+        assert report.checkpoint_epoch >= 1
+        assert 0 <= report.checkpoint_tick < 50
+        assert report.ticks_replayed == 49 - report.checkpoint_tick
+        assert not report.used_seed_fallback
+        reference.close()
+
+
+class TestRepeatedCrashes:
+    def test_crash_recover_crash_recover(self, random_walk_app, tmp_path):
+        """Recovery output is stable: recovering twice gives the same state."""
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(factory, tmp_path, "copy-on-update",
+                                     ticks=45)
+        manager = RecoveryManager(random_walk_app, victim.directory, seed=7)
+        first = manager.recover()
+        second = manager.recover()
+        assert first.table.equals(second.table)
+        assert first.table.equals(reference.table)
+        reference.close()
+
+
+class TestCrashTimingMatrix:
+    @pytest.mark.parametrize("ticks", [1, 7, 16, 33, 64])
+    def test_crash_at_various_points(self, ticks, random_walk_app, tmp_path):
+        factory = lambda: random_walk_app
+        reference, victim = run_pair(
+            factory, tmp_path, "copy-on-update", ticks=ticks,
+            writer_bytes_per_tick=256,
+        )
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=7
+        ).recover()
+        assert report.table.equals(reference.table)
+        reference.close()

@@ -1,0 +1,158 @@
+"""Tests for the durable game server."""
+
+import pytest
+
+from repro.core.registry import ALGORITHM_KEYS
+from repro.engine.server import DurableGameServer
+from repro.errors import EngineError
+
+
+class TestTickLoop:
+    def test_runs_and_counts(self, random_walk_app, tmp_path):
+        with DurableGameServer(random_walk_app, tmp_path) as server:
+            server.run_ticks(10)
+            assert server.ticks_run == 10
+            assert server.stats.ticks_run == 10
+            assert server.stats.updates_applied == 500
+
+    def test_checkpoints_happen(self, random_walk_app, tmp_path):
+        with DurableGameServer(
+            random_walk_app, tmp_path, writer_bytes_per_tick=2_048
+        ) as server:
+            server.run_ticks(40)
+            assert server.stats.checkpoints_started >= 2
+            assert server.stats.checkpoints_completed >= 1
+            assert server.last_committed_checkpoint_tick is not None
+
+    def test_bytes_written_grow(self, random_walk_app, tmp_path):
+        with DurableGameServer(random_walk_app, tmp_path) as server:
+            server.run_ticks(5)
+            assert server.stats.bytes_written > 0
+
+    def test_every_algorithm_runs(self, random_walk_app, tmp_path):
+        for algorithm in ALGORITHM_KEYS:
+            directory = tmp_path / algorithm
+            with DurableGameServer(
+                random_walk_app, directory, algorithm=algorithm
+            ) as server:
+                server.run_ticks(25)
+                assert server.stats.checkpoints_completed >= 1, algorithm
+
+    def test_algorithm_name_exposed(self, random_walk_app, tmp_path):
+        with DurableGameServer(
+            random_walk_app, tmp_path, algorithm="copy-on-update"
+        ) as server:
+            assert server.algorithm_name == "Copy-on-Update"
+
+    def test_checkpoint_interval_spaces_starts(self, random_walk_app,
+                                               tmp_path):
+        with DurableGameServer(
+            random_walk_app, tmp_path, min_checkpoint_interval_ticks=9,
+            writer_bytes_per_tick=100_000,  # writes finish within a tick
+        ) as server:
+            starts = []
+            last = server.stats.checkpoints_started
+            for tick in range(40):
+                server.run_tick()
+                if server.stats.checkpoints_started > last:
+                    starts.append(tick)
+                    last = server.stats.checkpoints_started
+            assert len(starts) >= 3
+            assert all(b - a >= 9 for a, b in zip(starts, starts[1:]))
+
+    def test_checkpoint_interval_recovery_still_exact(self, random_walk_app,
+                                                      tmp_path):
+        from repro.engine.recovery import RecoveryManager
+
+        kwargs = dict(min_checkpoint_interval_ticks=11, seed=4)
+        reference = DurableGameServer(random_walk_app, tmp_path / "ref",
+                                      **kwargs)
+        reference.run_ticks(50)
+        victim = DurableGameServer(random_walk_app, tmp_path / "victim",
+                                   **kwargs)
+        victim.run_ticks(50)
+        victim.crash()
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=4
+        ).recover()
+        assert report.table.equals(reference.table)
+        reference.close()
+
+    def test_bad_checkpoint_interval_rejected(self, random_walk_app,
+                                              tmp_path):
+        with pytest.raises(EngineError):
+            DurableGameServer(
+                random_walk_app, tmp_path, min_checkpoint_interval_ticks=0
+            )
+
+    def test_sync_mode_runs_and_recovers(self, random_walk_app, tmp_path):
+        """fsync-on-write mode: slower but the same durable behaviour."""
+        from repro.engine.recovery import RecoveryManager
+
+        reference = DurableGameServer(
+            random_walk_app, tmp_path / "ref", seed=2, sync=True
+        )
+        reference.run_ticks(30)
+        victim = DurableGameServer(
+            random_walk_app, tmp_path / "victim", seed=2, sync=True
+        )
+        victim.run_ticks(30)
+        victim.crash()
+        report = RecoveryManager(
+            random_walk_app, victim.directory, seed=2
+        ).recover()
+        assert report.table.equals(reference.table)
+        reference.close()
+
+
+class TestLifecycle:
+    def test_crash_stops_ticks(self, random_walk_app, tmp_path):
+        server = DurableGameServer(random_walk_app, tmp_path)
+        server.run_ticks(3)
+        server.crash()
+        with pytest.raises(EngineError):
+            server.run_tick()
+
+    def test_closed_server_rejects_ticks(self, random_walk_app, tmp_path):
+        server = DurableGameServer(random_walk_app, tmp_path)
+        server.close()
+        with pytest.raises(EngineError):
+            server.run_tick()
+
+    def test_double_close_is_noop(self, random_walk_app, tmp_path):
+        server = DurableGameServer(random_walk_app, tmp_path)
+        server.close()
+        server.close()
+
+    def test_crash_after_close_rejected(self, random_walk_app, tmp_path):
+        server = DurableGameServer(random_walk_app, tmp_path)
+        server.close()
+        with pytest.raises(EngineError):
+            server.crash()
+
+    def test_refuses_dirty_directory(self, random_walk_app, tmp_path):
+        server = DurableGameServer(random_walk_app, tmp_path)
+        server.run_ticks(2)
+        server.close()
+        with pytest.raises(EngineError):
+            DurableGameServer(random_walk_app, tmp_path)
+
+
+class TestDeterminism:
+    def test_two_servers_same_seed_identical(self, random_walk_app, tmp_path):
+        a = DurableGameServer(random_walk_app, tmp_path / "a", seed=5)
+        b = DurableGameServer(random_walk_app, tmp_path / "b", seed=5)
+        a.run_ticks(30)
+        b.run_ticks(30)
+        assert a.table.equals(b.table)
+        a.close()
+        b.close()
+
+    def test_different_seeds_differ(self, random_walk_app, tmp_path):
+        a = DurableGameServer(random_walk_app, tmp_path / "a", seed=1)
+        b = DurableGameServer(random_walk_app, tmp_path / "b", seed=2)
+        a.run_ticks(5)
+        b.run_ticks(5)
+        assert not a.table.equals(b.table)
+        a.close()
+        b.close()

@@ -1,0 +1,96 @@
+"""Tests for the full-shard facade (game server + persistence server)."""
+
+import pytest
+
+from repro.engine.shard import MMOShard
+from repro.errors import EngineError
+from repro.persistence.store import TransactionError
+
+
+@pytest.fixture
+def shard(random_walk_app, tmp_path):
+    with MMOShard(random_walk_app, tmp_path, seed=3) as opened:
+        yield opened
+
+
+def seed_economy(shard):
+    alice = shard.persistence.create_character("alice", gold=100)
+    bob = shard.persistence.create_character("bob", gold=100)
+    sword = shard.persistence.grant_item(alice, "sword")
+    return alice, bob, sword
+
+
+class TestShardOperation:
+    def test_both_paths_work_together(self, shard):
+        alice, bob, sword = seed_economy(shard)
+        shard.run_ticks(10)
+        shard.trade_item(sword, alice, bob, 40)
+        shard.run_ticks(10)
+        assert shard.game.ticks_run == 20
+        assert shard.persistence.store.items[sword].owner_id == bob
+
+    def test_failed_trade_does_not_stop_the_world(self, shard):
+        alice, bob, sword = seed_economy(shard)
+        with pytest.raises(TransactionError):
+            shard.trade_item(sword, alice, bob, 10_000)
+        shard.run_ticks(5)
+        assert shard.game.ticks_run == 5
+
+
+class TestShardCrashRecovery:
+    def test_both_halves_recover(self, random_walk_app, tmp_path):
+        reference = MMOShard(random_walk_app, tmp_path / "ref", seed=3)
+        victim = MMOShard(random_walk_app, tmp_path / "victim", seed=3)
+        for shard in (reference, victim):
+            alice, bob, sword = seed_economy(shard)
+            shard.run_ticks(35)
+            shard.trade_item(sword, alice, bob, 25)
+            shard.run_ticks(35)
+
+        from repro.persistence.store import ItemStore
+
+        expected_economy = ItemStore.from_snapshot_bytes(
+            victim.persistence.store.snapshot_bytes()
+        )
+        victim.crash()
+
+        recovered = MMOShard.recover(random_walk_app, tmp_path / "victim",
+                                     seed=3)
+        assert recovered.game.table.equals(reference.game.table)
+        assert recovered.persistence.store.equals(expected_economy)
+        recovered.persistence.close()
+        reference.close()
+
+    def test_crashed_shard_rejects_everything(self, random_walk_app, tmp_path):
+        shard = MMOShard(random_walk_app, tmp_path, seed=1)
+        shard.run_ticks(2)
+        shard.crash()
+        with pytest.raises(EngineError):
+            shard.run_tick()
+        with pytest.raises(EngineError):
+            _ = shard.persistence
+
+    @pytest.mark.parametrize("algorithm", ["partial-redo", "dribble"])
+    def test_log_layout_shards_recover_too(self, algorithm, random_walk_app,
+                                           tmp_path):
+        reference = MMOShard(random_walk_app, tmp_path / "ref", seed=9,
+                             algorithm=algorithm)
+        victim = MMOShard(random_walk_app, tmp_path / "victim", seed=9,
+                          algorithm=algorithm)
+        for shard in (reference, victim):
+            shard.run_ticks(40)
+        victim.crash()
+        recovered = MMOShard.recover(random_walk_app, tmp_path / "victim",
+                                     seed=9)
+        assert recovered.game.table.equals(reference.game.table)
+        recovered.persistence.close()
+        reference.close()
+
+    def test_recovered_economy_can_continue(self, random_walk_app, tmp_path):
+        shard = MMOShard(random_walk_app, tmp_path, seed=1)
+        alice, bob, sword = seed_economy(shard)
+        shard.crash()
+        recovered = MMOShard.recover(random_walk_app, tmp_path, seed=1)
+        recovered.persistence.trade_item(sword, alice, bob, 10)
+        assert recovered.persistence.store.items[sword].owner_id == bob
+        recovered.persistence.close()

@@ -1,0 +1,47 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+from repro.experiments.runner import build_parser, main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        for artifact in ("table1", "table2", "table3", "table4", "table5",
+                         "fig2", "fig3", "fig4", "fig5", "fig6"):
+            assert artifact in EXPERIMENT_IDS
+
+    def test_ablations_present(self):
+        for artifact in ("ablation_objsize", "ablation_fulldump",
+                         "ablation_disk", "ablation_tickrate"):
+            assert artifact in EXPERIMENT_IDS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiments == ["table1"]
+        assert not args.quick
+        assert args.seed == 0
+
+    def test_main_runs_table1(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Copy-on-Update" in out
+
+    def test_main_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_main_writes_report_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["table2", "--quick", "--out", str(out_file)]) == 0
+        assert "Table 2" in out_file.read_text()

@@ -1,0 +1,73 @@
+"""Tests for the bot-client load driver and the full Figure 1 stack."""
+
+import pytest
+
+from repro.engine.recovery import RecoveryManager
+from repro.engine.shard import MMOShard
+from repro.frontend.clients import BotSwarm
+from repro.frontend.connection import ConnectionServer, SessionError
+from repro.game.knights_archers import KnightsArchersGame
+from repro.game.scenario import BattleScenario
+
+
+def build_stack(tmp_path, seed=6, num_bots=12):
+    scenario = BattleScenario(num_units=512)
+    shard = MMOShard(KnightsArchersGame(scenario), tmp_path, seed=seed)
+    connection = ConnectionServer(shard, commands_per_tick_limit=4)
+    swarm = BotSwarm(connection, num_bots=num_bots, seed=seed)
+    return scenario, shard, connection, swarm
+
+
+class TestBotSwarm:
+    def test_swarm_connects_and_plays(self, tmp_path):
+        _scenario, shard, connection, swarm = build_stack(tmp_path)
+        swarm.play_ticks(20)
+        assert shard.game.ticks_run == 20
+        assert connection.stats.commands_routed > 0
+        assert swarm.commands_attempted >= connection.stats.commands_routed
+        shard.close()
+
+    def test_accounts_and_trades(self, tmp_path):
+        _scenario, shard, _connection, swarm = build_stack(tmp_path)
+        swarm.play_ticks(40)
+        store = shard.persistence.store
+        assert len(store.characters) == len(swarm.bots)
+        # Gold is conserved no matter how many trades happened.
+        assert store.total_gold() == 200 * len(swarm.bots)
+        if swarm.trades_completed:
+            assert shard.persistence.last_transaction_id > 2 * len(swarm.bots)
+        shard.close()
+
+    def test_needs_a_bot(self, tmp_path):
+        _scenario, shard, connection, _swarm = build_stack(tmp_path)
+        with pytest.raises(SessionError):
+            BotSwarm(connection, num_bots=0)
+        shard.close()
+
+
+class TestFullStackRecovery:
+    def test_swarm_driven_shard_recovers_exactly(self, tmp_path):
+        """The complete Figure 1 stack under bot load, crashed and
+        recovered: commands were durably logged, so the world replays."""
+        scenario = BattleScenario(num_units=512)
+        seed = 6
+
+        def run(directory):
+            shard = MMOShard(KnightsArchersGame(scenario), directory,
+                             seed=seed)
+            connection = ConnectionServer(shard, commands_per_tick_limit=4)
+            swarm = BotSwarm(connection, num_bots=10, seed=seed)
+            swarm.play_ticks(45)
+            return shard
+
+        reference = run(tmp_path / "ref")
+        victim = run(tmp_path / "victim")
+        victim.crash()
+
+        report = RecoveryManager(
+            KnightsArchersGame(scenario),
+            (tmp_path / "victim" / "game"),
+            seed=seed,
+        ).recover()
+        assert report.table.equals(reference.game.table)
+        reference.close()

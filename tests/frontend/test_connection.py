@@ -1,0 +1,99 @@
+"""Tests for the connection-server tier."""
+
+import pytest
+
+from repro.engine.shard import MMOShard
+from repro.frontend.connection import ConnectionServer, SessionError
+from repro.game.columns import Column
+from repro.game.knights_archers import KnightsArchersGame
+from repro.game.scenario import BattleScenario
+from repro.persistence.store import TransactionError
+
+
+@pytest.fixture
+def shard(tmp_path):
+    scenario = BattleScenario(num_units=512)
+    with MMOShard(KnightsArchersGame(scenario), tmp_path, seed=4) as opened:
+        yield opened
+
+
+@pytest.fixture
+def connection(shard):
+    return ConnectionServer(shard, commands_per_tick_limit=3)
+
+
+class TestSessions:
+    def test_connect_disconnect(self, connection):
+        session_id = connection.connect("alice")
+        assert connection.session_count == 1
+        assert connection.session(session_id).player_name == "alice"
+        connection.disconnect(session_id)
+        assert connection.session_count == 0
+        assert connection.stats.sessions_opened == 1
+        assert connection.stats.sessions_closed == 1
+
+    def test_unknown_session_rejected(self, connection):
+        with pytest.raises(SessionError):
+            connection.send_command(99, b"heal:1")
+        with pytest.raises(SessionError):
+            connection.disconnect(99)
+
+    def test_empty_name_rejected(self, connection):
+        with pytest.raises(SessionError):
+            connection.connect("")
+
+    def test_session_ids_unique(self, connection):
+        ids = {connection.connect(f"p{i}") for i in range(5)}
+        assert len(ids) == 5
+
+
+class TestCommandRouting:
+    def test_commands_reach_the_world(self, connection, shard):
+        session_id = connection.connect("gm")
+        shard.game.table.cells[7, Column.HEALTH] = 1.0
+        connection.send_command(session_id, b"heal:7")
+        connection.run_tick()
+        assert shard.game.table.cells[7, Column.HEALTH] == 100.0
+        assert connection.stats.commands_routed == 1
+
+    def test_rate_limit_enforced_and_reset(self, connection):
+        session_id = connection.connect("flooder")
+        for _ in range(3):
+            connection.send_command(session_id, b"heal:1")
+        with pytest.raises(SessionError):
+            connection.send_command(session_id, b"heal:1")
+        assert connection.stats.commands_rejected == 1
+        connection.run_tick()  # budget resets at the tick boundary
+        connection.send_command(session_id, b"heal:1")
+
+    def test_limit_is_per_session(self, connection):
+        first = connection.connect("a")
+        second = connection.connect("b")
+        for _ in range(3):
+            connection.send_command(first, b"heal:1")
+        connection.send_command(second, b"heal:2")  # unaffected
+
+    def test_bad_limit_rejected(self, shard):
+        with pytest.raises(SessionError):
+            ConnectionServer(shard, commands_per_tick_limit=0)
+
+
+class TestTradeRouting:
+    def test_trade_via_connection(self, connection, shard):
+        session_id = connection.connect("merchant")
+        alice = shard.persistence.create_character("alice", gold=100)
+        bob = shard.persistence.create_character("bob", gold=100)
+        sword = shard.persistence.grant_item(alice, "sword")
+        result = connection.request_trade(session_id, sword, alice, bob, 10)
+        assert result.buyer_id == bob
+        assert connection.stats.trades_routed == 1
+        assert connection.session(session_id).trades_requested == 1
+
+    def test_failed_trade_propagates(self, connection, shard):
+        session_id = connection.connect("merchant")
+        alice = shard.persistence.create_character("alice", gold=0)
+        bob = shard.persistence.create_character("bob", gold=0)
+        sword = shard.persistence.grant_item(alice, "sword")
+        with pytest.raises(TransactionError):
+            connection.request_trade(session_id, sword, alice, bob, 10)
+        assert connection.stats.trades_routed == 0

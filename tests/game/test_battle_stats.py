@@ -1,0 +1,47 @@
+"""Tests for the battle scoreboard."""
+
+import numpy as np
+import pytest
+
+from repro.game.columns import Column
+from repro.game.knights_archers import KnightsArchersGame
+from repro.game.scenario import BattleScenario
+from repro.game.stats import BattleReport
+from repro.state.table import GameStateTable
+
+
+@pytest.fixture
+def world():
+    game = KnightsArchersGame(BattleScenario(num_units=512))
+    table = GameStateTable(game.geometry, dtype=np.float32)
+    game.initialize(table, np.random.default_rng(0))
+    return table
+
+
+class TestBattleReport:
+    def test_unit_accounting(self, world):
+        report = BattleReport.from_table(world)
+        team0, team1 = report.teams
+        assert team0.units + team1.units == 512
+        for team in report.teams:
+            assert team.knights + team.archers + team.healers == team.units
+
+    def test_fresh_world_scoreless(self, world):
+        report = BattleReport.from_table(world)
+        assert all(team.total_kills == 0 for team in report.teams)
+        assert all(team.mean_health == pytest.approx(100.0)
+                   for team in report.teams)
+
+    def test_leader_follows_kills(self, world):
+        world.cells[1, Column.KILLS] = 5.0  # row 1 belongs to team 1
+        report = BattleReport.from_table(world)
+        assert report.leader == 1
+
+    def test_leader_tie_goes_to_team0(self, world):
+        assert BattleReport.from_table(world).leader == 0
+
+    def test_describe_mentions_both_teams(self, world):
+        text = BattleReport.from_table(world).describe()
+        assert "team 0" in text
+        assert "team 1" in text
+        assert "leading team" in text

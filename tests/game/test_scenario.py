@@ -1,0 +1,55 @@
+"""Tests for battle scenario configuration."""
+
+import pytest
+
+from repro.config import GAME_GEOMETRY
+from repro.errors import GameError
+from repro.game.scenario import PAPER_SCALE_SCENARIO, BattleScenario
+
+
+class TestBattleScenario:
+    def test_defaults_valid(self):
+        scenario = BattleScenario()
+        assert scenario.num_units == 8_192
+        assert scenario.healer_fraction == pytest.approx(0.2)
+
+    def test_geometry_has_13_columns(self):
+        assert BattleScenario().geometry.columns == 13
+
+    def test_paper_scale_matches_table5(self):
+        assert PAPER_SCALE_SCENARIO.geometry == GAME_GEOMETRY
+
+    def test_base_positions_opposed(self):
+        scenario = BattleScenario()
+        base0 = scenario.base_position(0)
+        base1 = scenario.base_position(1)
+        assert base0 != base1
+        size = scenario.arena_size
+        for x, y in (base0, base1):
+            assert 0 <= x <= size
+            assert 0 <= y <= size
+
+    def test_base_position_team_validated(self):
+        with pytest.raises(GameError):
+            BattleScenario().base_position(2)
+
+    def test_arena_scales_with_units(self):
+        small = BattleScenario(num_units=1_000).arena_size
+        large = BattleScenario(num_units=100_000).arena_size
+        assert large > small
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(GameError):
+            BattleScenario(num_units=1)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(GameError):
+            BattleScenario(active_fraction=0.0)
+        with pytest.raises(GameError):
+            BattleScenario(swap_fraction=1.5)
+        with pytest.raises(GameError):
+            BattleScenario(knight_fraction=0.8, archer_fraction=0.3)
+
+    def test_rejects_nonpositive_health(self):
+        with pytest.raises(GameError):
+            BattleScenario(max_health=0.0)

@@ -1,0 +1,135 @@
+"""Integration: the full Section 5.4 pipeline on the real game.
+
+Battle -> instrumented trace -> checkpoint simulation, plus the durable
+engine running the same game with crash recovery -- the complete story the
+paper tells, end to end, in one test module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_HARDWARE, SimulationConfig
+from repro.engine import DurableGameServer, RecoveryManager
+from repro.game import (
+    BattleReport,
+    BattleScenario,
+    KnightsArchersGame,
+    record_trace,
+)
+from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.state import GameStateTable
+from repro.workloads import TraceStatistics, load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def battle():
+    scenario = BattleScenario(num_units=4_096)
+    game = KnightsArchersGame(scenario)
+    table = GameStateTable(scenario.geometry, dtype=np.float32)
+    trace = record_trace(game, 150, seed=9, table=table)
+    return scenario, game, table, trace
+
+
+class TestTracePipeline:
+    def test_trace_statistics_shape(self, battle):
+        scenario, _game, _table, trace = battle
+        stats = TraceStatistics.from_trace(trace)
+        active = scenario.num_units * scenario.active_fraction
+        per_active = stats.avg_updates_per_tick / active
+        # Paper's trace: 35,590 updates for 40,012 active units ~ 0.89.
+        assert 0.5 < per_active < 1.5
+        # Positions dominate, health is stable.
+        x_and_y = stats.column_update_counts[0] + stats.column_update_counts[1]
+        assert x_and_y > 0.5 * stats.total_updates
+
+    def test_trace_survives_disk_round_trip(self, battle, tmp_path):
+        _scenario, _game, _table, trace = battle
+        path = tmp_path / "battle.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.total_updates() == trace.total_updates()
+
+    def test_simulating_the_battle_trace(self, battle):
+        scenario, _game, _table, trace = battle
+        config = SimulationConfig(
+            hardware=PAPER_HARDWARE,
+            geometry=scenario.geometry,
+            warmup_ticks=20,
+        )
+        simulator = CheckpointSimulator(config)
+        results = {
+            r.algorithm_key: r
+            for r in simulator.run_all(PrecomputedObjectTrace(trace))
+        }
+        # Section 5.4 orderings.
+        assert (
+            results["cou-partial-redo"].recovery_time
+            > results["copy-on-update"].recovery_time
+        )
+        assert (
+            results["partial-redo"].recovery_time
+            > results["atomic-copy"].recovery_time
+        )
+        # Section 5.4: on game traces "Atomic-Copy-Dirty-Objects is in fact
+        # the method with lower average overhead time, having a value
+        # slightly lower than Naive-Snapshot".
+        assert (
+            results["atomic-copy"].avg_overhead
+            < results["naive-snapshot"].avg_overhead
+        )
+        assert (
+            results["atomic-copy"].avg_overhead
+            < results["copy-on-update"].avg_overhead
+        )
+        # The log-organized methods checkpoint faster (sequential writes of
+        # the small dirty set) but pay for it at recovery, as asserted above.
+        assert (
+            results["cou-partial-redo"].avg_checkpoint_time
+            < results["copy-on-update"].avg_checkpoint_time
+        )
+
+    def test_battle_report_totals(self, battle):
+        scenario, _game, table, _trace = battle
+        report = BattleReport.from_table(table)
+        assert sum(team.units for team in report.teams) == scenario.num_units
+
+
+class TestFullPaperScale:
+    def test_real_game_at_400k_units_matches_table5(self):
+        """The real game at the paper's exact scale produces a trace within
+        10% of Table 5's 35,590 updates/tick."""
+        from repro.game.scenario import PAPER_SCALE_SCENARIO
+
+        game = KnightsArchersGame(PAPER_SCALE_SCENARIO)
+        trace = record_trace(game, 40, seed=1)
+        stats = TraceStatistics.from_trace(trace)
+        assert stats.geometry.rows == 400_128
+        assert stats.geometry.columns == 13
+        assert abs(stats.avg_updates_per_tick - 35_590) / 35_590 < 0.10
+
+
+class TestDurableGamePipeline:
+    def test_game_crash_recovery_end_to_end(self, tmp_path):
+        scenario = BattleScenario(num_units=1_024)
+        seed = 21
+
+        reference = DurableGameServer(
+            KnightsArchersGame(scenario), tmp_path / "ref",
+            algorithm="copy-on-update", seed=seed,
+        )
+        reference.run_ticks(90)
+
+        victim = DurableGameServer(
+            KnightsArchersGame(scenario), tmp_path / "victim",
+            algorithm="copy-on-update", seed=seed,
+        )
+        victim.run_ticks(90)
+        victim.crash()
+
+        report = RecoveryManager(
+            KnightsArchersGame(scenario), victim.directory, seed=seed
+        ).recover()
+        assert report.table.equals(reference.table)
+        assert report.ticks_replayed < 90  # a checkpoint actually helped
+        assert BattleReport.from_table(report.table).teams[0].units == 512
+        reference.close()

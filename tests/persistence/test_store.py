@@ -1,0 +1,100 @@
+"""Tests for the item/account store."""
+
+import pytest
+
+from repro.persistence.store import ItemStore, TransactionError
+
+
+@pytest.fixture
+def store():
+    store = ItemStore()
+    store.apply_create_character(1, "alice", 100)
+    store.apply_create_character(2, "bob", 50)
+    store.apply_create_item(10, "sword", 1)
+    return store
+
+
+class TestCharacters:
+    def test_duplicate_character_rejected(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_create_character(1, "mallory", 0)
+
+    def test_id_allocator_advances(self, store):
+        assert store.next_character_id == 3
+
+
+class TestGold:
+    def test_transfer(self, store):
+        store.apply_transfer_gold(1, 2, 30)
+        assert store.characters[1].gold == 70
+        assert store.characters[2].gold == 80
+
+    def test_insufficient_funds(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_transfer_gold(2, 1, 51)
+
+    def test_non_positive_amount(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_transfer_gold(1, 2, 0)
+
+    def test_unknown_parties(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_transfer_gold(1, 9, 5)
+        with pytest.raises(TransactionError):
+            store.apply_transfer_gold(9, 1, 5)
+
+    def test_adjust_gold(self, store):
+        store.apply_adjust_gold(1, 25)
+        assert store.characters[1].gold == 125
+        store.apply_adjust_gold(1, -125)
+        assert store.characters[1].gold == 0
+
+    def test_adjust_cannot_go_negative(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_adjust_gold(2, -51)
+
+    def test_total_gold_conserved_by_transfer(self, store):
+        before = store.total_gold()
+        store.apply_transfer_gold(1, 2, 10)
+        assert store.total_gold() == before
+
+
+class TestItems:
+    def test_transfer_item(self, store):
+        store.apply_transfer_item(10, 1, 2)
+        assert store.items[10].owner_id == 2
+        assert [item.item_id for item in store.items_of(2)] == [10]
+
+    def test_wrong_owner_rejected(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_transfer_item(10, 2, 1)
+
+    def test_unknown_item_rejected(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_transfer_item(99, 1, 2)
+
+    def test_item_for_unknown_owner_rejected(self, store):
+        with pytest.raises(TransactionError):
+            store.apply_create_item(11, "shield", 9)
+
+    def test_delete(self, store):
+        store.apply_delete_item(10)
+        assert 10 not in store.items
+        with pytest.raises(TransactionError):
+            store.apply_delete_item(10)
+
+
+class TestSnapshots:
+    def test_round_trip(self, store):
+        restored = ItemStore.from_snapshot_bytes(store.snapshot_bytes())
+        assert restored.equals(store)
+
+    def test_round_trip_preserves_allocators(self, store):
+        restored = ItemStore.from_snapshot_bytes(store.snapshot_bytes())
+        assert restored.next_character_id == store.next_character_id
+        assert restored.next_item_id == store.next_item_id
+
+    def test_equals_detects_difference(self, store):
+        other = ItemStore.from_snapshot_bytes(store.snapshot_bytes())
+        other.characters[1].gold += 1
+        assert not store.equals(other)

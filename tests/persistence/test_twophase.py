@@ -1,0 +1,217 @@
+"""Tests for cross-shard 2PC transfers: atomicity under every crash point."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.persistence.server import OP_DELETE_ITEM, PersistenceServer
+from repro.persistence.store import TransactionError
+from repro.persistence.twophase import CrossShardCoordinator
+
+
+@pytest.fixture
+def world(tmp_path):
+    """Two shards with seeded economies plus a coordinator."""
+    source = PersistenceServer(tmp_path / "shard-a")
+    target = PersistenceServer(tmp_path / "shard-b")
+    coordinator = CrossShardCoordinator(tmp_path / "coordinator")
+    alice = source.create_character("alice", gold=100)
+    bob = target.create_character("bob", gold=100)
+    sword = source.grant_item(alice, "sword")
+    yield tmp_path, source, target, coordinator, alice, bob, sword
+    source.close()
+    target.close()
+    coordinator.close()
+
+
+def count_sword_copies(source, target):
+    """How many shards hold a 'sword' item (must always be exactly one)."""
+    count = 0
+    for server in (source, target):
+        count += sum(
+            1 for item in server.store.items.values() if item.kind == "sword"
+        )
+    return count
+
+
+class TestHappyPath:
+    def test_transfer_moves_the_item(self, world):
+        _path, source, target, coordinator, _alice, bob, sword = world
+        coordinator.transfer_item(source, target, sword, new_owner_id=bob)
+        assert sword not in source.store.items
+        owned = target.store.items_of(bob)
+        assert [item.kind for item in owned] == ["sword"]
+        assert count_sword_copies(source, target) == 1
+
+    def test_no_in_doubt_left_behind(self, world):
+        _path, source, target, coordinator, _alice, bob, sword = world
+        coordinator.transfer_item(source, target, sword, new_owner_id=bob)
+        assert not source.in_doubt_transactions()
+        assert not target.in_doubt_transactions()
+
+    def test_global_ids_are_unique(self, world):
+        _path, source, target, coordinator, alice, bob, sword = world
+        first = coordinator.transfer_item(source, target, sword, bob)
+        shield = source.grant_item(alice, "shield")
+        second = coordinator.transfer_item(source, target, shield, bob)
+        assert first != second
+
+
+class TestVoteNo:
+    def test_unknown_item_aborts_cleanly(self, world):
+        _path, source, target, coordinator, _alice, bob, _sword = world
+        with pytest.raises(TransactionError):
+            coordinator.transfer_item(source, target, 999, new_owner_id=bob)
+        assert not source.in_doubt_transactions()
+        assert not target.in_doubt_transactions()
+
+    def test_unknown_target_owner_aborts_and_releases_source(self, world):
+        _path, source, target, coordinator, alice, _bob, sword = world
+        with pytest.raises(TransactionError):
+            coordinator.transfer_item(source, target, sword, new_owner_id=777)
+        # The sword stays with alice and is tradeable again.
+        assert source.store.items[sword].owner_id == alice
+        assert not source.in_doubt_transactions()
+        carol = target.create_character("carol", gold=0)
+        coordinator.transfer_item(source, target, sword, new_owner_id=carol)
+        assert count_sword_copies(source, target) == 1
+
+
+class TestLocking:
+    def test_prepared_entities_block_local_transactions(self, world):
+        _path, source, target, _coordinator, alice, bob, sword = world
+        assert source.prepare_remote("gid-1", [(OP_DELETE_ITEM, sword)])
+        # The sword is pinned: a local trade touching it must fail...
+        dave = source.create_character("dave", gold=500)
+        with pytest.raises(TransactionError):
+            source.trade_item(sword, alice, dave, 10)
+        # ...until the decision arrives.
+        source.resolve_remote("gid-1", False)
+        source.trade_item(sword, alice, dave, 10)
+
+    def test_conflicting_prepare_votes_no(self, world):
+        _path, source, _target, _coordinator, _alice, _bob, sword = world
+        assert source.prepare_remote("gid-1", [(OP_DELETE_ITEM, sword)])
+        assert not source.prepare_remote("gid-2", [(OP_DELETE_ITEM, sword)])
+
+    def test_duplicate_prepare_rejected(self, world):
+        _path, source, _target, _coordinator, _alice, _bob, sword = world
+        assert source.prepare_remote("gid-1", [(OP_DELETE_ITEM, sword)])
+        with pytest.raises(TransactionError):
+            source.prepare_remote("gid-1", [(OP_DELETE_ITEM, sword)])
+
+    def test_resolve_is_idempotent(self, world):
+        _path, source, _target, _coordinator, _alice, _bob, sword = world
+        source.prepare_remote("gid-1", [(OP_DELETE_ITEM, sword)])
+        assert source.resolve_remote("gid-1", True)
+        assert not source.resolve_remote("gid-1", True)
+        assert not source.resolve_remote("never-prepared", True)
+
+
+class TestCrashMatrix:
+    """The item exists on exactly one shard at every recoverable point."""
+
+    def _drive_until(self, tmp_path, crash_point):
+        """Run the protocol by hand, crashing everything at ``crash_point``.
+
+        Points: 0 = after source prepare; 1 = after both prepares;
+        2 = after the coordinator's commit decision; 3 = after source
+        resolved; 4 = fully done.
+        """
+        source = PersistenceServer(tmp_path / "a")
+        target = PersistenceServer(tmp_path / "b")
+        coordinator = CrossShardCoordinator(tmp_path / "c")
+        alice = source.create_character("alice", gold=0)
+        bob = target.create_character("bob", gold=0)
+        sword = source.grant_item(alice, "sword")
+        target_item_id = target.store.next_item_id
+        gid = "xfer-1"
+
+        steps = [
+            lambda: source.prepare_remote(gid, [(OP_DELETE_ITEM, sword)]),
+            lambda: target.prepare_remote(
+                gid, [("create_item", target_item_id, "sword", bob)]
+            ),
+            lambda: coordinator._log_decision(gid, True),
+            lambda: source.resolve_remote(gid, True),
+            lambda: target.resolve_remote(gid, True),
+        ]
+        for step in steps[: crash_point + 1]:
+            assert step() is not False
+        source.crash()
+        target.crash()
+        coordinator.crash()
+        return sword
+
+    @pytest.mark.parametrize("crash_point", [0, 1, 2, 3, 4])
+    def test_exactly_one_sword_after_recovery(self, tmp_path, crash_point):
+        self._drive_until(tmp_path, crash_point)
+
+        source = PersistenceServer.recover(tmp_path / "a")
+        target = PersistenceServer.recover(tmp_path / "b")
+        coordinator = CrossShardCoordinator.recover(tmp_path / "c")
+        coordinator.resolve_in_doubt([source, target])
+
+        assert count_sword_copies(source, target) == 1
+        assert not source.in_doubt_transactions()
+        assert not target.in_doubt_transactions()
+        # Decisions logged (commit) take effect; undediced prepares abort.
+        if crash_point >= 2:
+            swords_at_target = [
+                item for item in target.store.items.values()
+                if item.kind == "sword"
+            ]
+            assert len(swords_at_target) == 1, "commit decision must win"
+        else:
+            assert any(
+                item.kind == "sword" for item in source.store.items.values()
+            ), "presumed abort keeps the item at the source"
+        for server in (source, target):
+            server.close()
+        coordinator.close()
+
+    def test_recovery_is_stable_across_repeated_resolution(self, tmp_path):
+        self._drive_until(tmp_path, crash_point=2)
+        for _round in range(3):
+            source = PersistenceServer.recover(tmp_path / "a")
+            target = PersistenceServer.recover(tmp_path / "b")
+            coordinator = CrossShardCoordinator.recover(tmp_path / "c")
+            coordinator.resolve_in_doubt([source, target])
+            assert count_sword_copies(source, target) == 1
+            source.crash()
+            target.crash()
+            coordinator.crash()
+
+    def test_coordinator_crash_before_decision_presumes_abort(self, tmp_path):
+        self._drive_until(tmp_path, crash_point=1)
+        source = PersistenceServer.recover(tmp_path / "a")
+        target = PersistenceServer.recover(tmp_path / "b")
+        coordinator = CrossShardCoordinator.recover(tmp_path / "c")
+        resolved = coordinator.resolve_in_doubt([source, target])
+        assert resolved == 2
+        assert any(
+            item.kind == "sword" for item in source.store.items.values()
+        )
+        assert not any(
+            item.kind == "sword" for item in target.store.items.values()
+        )
+        source.close()
+        target.close()
+        coordinator.close()
+
+
+class TestCoordinatorLifecycle:
+    def test_crashed_coordinator_rejects_transfers(self, world):
+        _path, source, target, coordinator, _alice, bob, sword = world
+        coordinator.crash()
+        with pytest.raises(StorageError):
+            coordinator.transfer_item(source, target, sword, bob)
+
+    def test_sequence_continues_after_recovery(self, tmp_path, world):
+        path, source, target, coordinator, alice, bob, sword = world
+        first = coordinator.transfer_item(source, target, sword, bob)
+        coordinator.crash()
+        recovered = CrossShardCoordinator.recover(path / "coordinator")
+        shield = source.grant_item(alice, "shield")
+        second = recovered.transfer_item(source, target, shield, bob)
+        assert second != first
+        recovered.close()

@@ -1,0 +1,87 @@
+"""Property tests: dirty-tracking structures behave like their models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.state.dirty import EpochSet, PolarityBitmap
+
+SIZE = 64
+
+ids_arrays = st.lists(
+    st.integers(min_value=0, max_value=SIZE - 1), min_size=0, max_size=12
+).map(lambda values: np.array(sorted(set(values)), dtype=np.int64))
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["set", "clear", "flip", "set_all", "clear_all"]),
+              ids_arrays),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestPolarityBitmapModel:
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_set_model(self, ops):
+        """Invariant 4 of DESIGN.md: polarity inversion is observationally a
+        complement; set/clear behave like a plain set."""
+        bitmap = PolarityBitmap(SIZE)
+        model = set()
+        for op, ids in ops:
+            if op == "set":
+                bitmap.set(ids)
+                model |= set(ids.tolist())
+            elif op == "clear":
+                bitmap.clear(ids)
+                model -= set(ids.tolist())
+            elif op == "flip":
+                bitmap.flip_all()
+                model = set(range(SIZE)) - model
+            elif op == "set_all":
+                bitmap.set_all()
+                model = set(range(SIZE))
+            else:
+                bitmap.clear_all()
+                model = set()
+        assert set(bitmap.set_ids().tolist()) == model
+        assert bitmap.count_set() == len(model)
+
+    @given(ids_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_flip_when_full_equals_clear(self, ids):
+        """The Dribble trick: once every bit is set, an O(1) flip is exactly
+        a clear-all."""
+        flipped = PolarityBitmap(SIZE)
+        cleared = PolarityBitmap(SIZE)
+        flipped.set_all()
+        cleared.set_all()
+        flipped.flip_all()
+        cleared.clear_all()
+        flipped.set(ids)
+        cleared.set(ids)
+        assert np.array_equal(flipped.values(), cleared.values())
+
+
+class TestEpochSetModel:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "reset"]), ids_arrays),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_set_model(self, ops):
+        epoch_set = EpochSet(SIZE)
+        model = set()
+        for op, ids in ops:
+            if op == "add":
+                fresh = epoch_set.add_new(ids)
+                expected_fresh = set(ids.tolist()) - model
+                assert set(fresh.tolist()) == expected_fresh
+                model |= set(ids.tolist())
+            else:
+                epoch_set.reset()
+                model = set()
+        assert set(epoch_set.members().tolist()) == model
+        assert epoch_set.count() == len(model)

@@ -1,0 +1,142 @@
+"""Property tests: algebra of the Section 4.2 cost model (invariant 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HardwareParameters, StateGeometry
+from repro.core.plan import UpdateEffects
+from repro.simulation.costmodel import CostModel
+
+hardware_values = st.builds(
+    HardwareParameters,
+    tick_frequency_hz=st.sampled_from([30.0, 60.0]),
+    memory_bandwidth=st.floats(min_value=1e8, max_value=1e11),
+    memory_latency=st.floats(min_value=0.0, max_value=1e-5),
+    lock_overhead=st.floats(min_value=0.0, max_value=1e-5),
+    bit_test_overhead=st.floats(min_value=0.0, max_value=1e-7),
+    disk_bandwidth=st.floats(min_value=1e6, max_value=1e10),
+)
+
+geometries = st.builds(
+    StateGeometry,
+    rows=st.integers(min_value=10, max_value=5_000),
+    columns=st.integers(min_value=1, max_value=16),
+    cell_bytes=st.just(4),
+    object_bytes=st.sampled_from([64, 256, 512]),
+)
+
+
+@st.composite
+def model_and_counts(draw):
+    model = CostModel(draw(hardware_values), draw(geometries))
+    k = draw(st.integers(min_value=0, max_value=model.geometry.num_objects))
+    return model, k
+
+
+class TestWriteTimes:
+    @given(model_and_counts())
+    @settings(max_examples=80, deadline=None)
+    def test_log_linear_double_constant(self, model_and_k):
+        model, k = model_and_k
+        log_time = model.log_write_time(k)
+        assert log_time >= 0
+        assert log_time == pytest.approx(
+            k * model.geometry.object_bytes / model.hardware.disk_bandwidth
+        )
+        double_time = model.double_backup_write_time(k)
+        if k == 0:
+            assert double_time == 0.0
+        else:
+            # Independent of k: always the full-rotation transfer.
+            assert double_time == pytest.approx(
+                model.double_backup_write_time(model.geometry.num_objects)
+            )
+
+    @given(model_and_counts())
+    @settings(max_examples=50, deadline=None)
+    def test_log_never_exceeds_double_backup(self, model_and_k):
+        """A log write of k <= n objects is at most the full-state write the
+        double backup pays."""
+        model, k = model_and_k
+        if k > 0:
+            assert (
+                model.log_write_time(k)
+                <= model.double_backup_write_time(k) + 1e-12
+            )
+
+
+class TestSyncCopy:
+    @given(
+        model_and_counts(),
+        st.lists(st.integers(min_value=0, max_value=9), min_size=0,
+                 max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_and_monotone(self, model_and_k, raw_ids):
+        model, _ = model_and_k
+        n = model.geometry.num_objects
+        ids = np.array(sorted({i % n for i in raw_ids}), dtype=np.int64)
+        time_full = model.sync_copy_time(ids)
+        assert time_full >= 0
+        if ids.size > 1:
+            time_partial = model.sync_copy_time(ids[:-1])
+            assert time_partial <= time_full + 1e-15
+
+    @given(model_and_counts())
+    @settings(max_examples=40, deadline=None)
+    def test_contiguous_cheapest(self, model_and_k):
+        """For a fixed k, one contiguous run minimizes dT_sync."""
+        model, k = model_and_k
+        n = model.geometry.num_objects
+        k = max(1, min(k, n // 2))
+        contiguous = model.sync_copy_time(np.arange(k))
+        scattered = model.sync_copy_time(np.arange(k) * 2)
+        assert contiguous <= scattered + 1e-15
+
+
+class TestOverheadAndRecovery:
+    @given(
+        model_and_counts(),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_update_overhead_formula(self, model_and_k, bits, locks, copies):
+        model, _ = model_and_k
+        copies = min(copies, locks)
+        effects = UpdateEffects(
+            bit_tests=bits,
+            first_touch_ids=np.arange(locks),
+            copy_ids=np.arange(copies),
+        )
+        overhead = model.update_overhead(effects)
+        hw = model.hardware
+        expected = (
+            bits * hw.bit_test_overhead
+            + locks * hw.lock_overhead
+            + copies * model.single_object_copy_time()
+        )
+        assert overhead == pytest.approx(expected)
+        assert overhead >= 0
+
+    @given(model_and_counts(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_log_restore_at_least_full_restore(self, model_and_k, period):
+        """Reading a log tail can never beat reading one sequential image."""
+        model, k = model_and_k
+        assert (
+            model.restore_time_log(k, period)
+            >= model.restore_time_full_image() - 1e-15
+        )
+
+    @given(model_and_counts(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_log_restore_monotone_in_period(self, model_and_k, period):
+        model, k = model_and_k
+        if k > 0:
+            assert model.restore_time_log(k, period) <= model.restore_time_log(
+                k, period + 1
+            )

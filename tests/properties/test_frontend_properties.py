@@ -1,0 +1,71 @@
+"""Property test: the connection server's rate limit is exact.
+
+For any interleaving of sends and tick boundaries, the number of commands a
+session forwards within one tick window never exceeds the limit, every
+accepted command reaches the shard, and budgets reset exactly at the
+boundary.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StateGeometry
+from repro.engine.app import TickApplication, TickUpdatesPlan
+from repro.engine.shard import MMOShard
+from repro.frontend.connection import ConnectionServer, SessionError
+
+
+class IdleApp(TickApplication):
+    """A do-nothing world: every command's routing is fully observable."""
+
+    def __init__(self):
+        self._geometry = StateGeometry(rows=16, columns=8)
+
+    @property
+    def geometry(self):
+        return self._geometry
+
+    def initialize(self, table, rng):
+        pass
+
+    def plan_tick(self, table, rng, tick):
+        return TickUpdatesPlan.empty(np.float32)
+
+
+# Each step: True = send a command, False = tick boundary.
+schedules = st.lists(st.booleans(), min_size=1, max_size=60)
+
+
+@given(schedule=schedules, limit=st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_rate_limit_exact(tmp_path_factory, schedule, limit):
+    root = tmp_path_factory.mktemp("frontend")
+    shard = MMOShard(IdleApp(), root, seed=0)
+    connection = ConnectionServer(shard, commands_per_tick_limit=limit)
+    session_id = connection.connect("prop")
+
+    sent_this_tick = 0
+    accepted_total = 0
+    for is_send in schedule:
+        if is_send:
+            try:
+                connection.send_command(session_id, b"noop")
+                sent_this_tick += 1
+                accepted_total += 1
+                assert sent_this_tick <= limit
+            except SessionError:
+                # Only ever rejected when the budget is exactly exhausted.
+                assert sent_this_tick == limit
+        else:
+            connection.run_tick()
+            sent_this_tick = 0
+
+    stats = connection.stats
+    assert stats.commands_routed == accepted_total
+    assert (
+        stats.commands_routed + stats.commands_rejected
+        == sum(1 for s in schedule if s)
+    )
+    shard.close()

@@ -1,0 +1,120 @@
+"""Property tests on the six checkpointing policies (invariant 2).
+
+A random schedule of updates and checkpoint boundaries is driven through each
+algorithm, checking:
+
+* **copy-once**: no object is copied (or locked) twice within one checkpoint;
+* **copies are first touches**: ``copy_ids``  is always a subset of
+  ``first_touch_ids``;
+* **coverage**: every object updated between two checkpoint cuts appears in
+  a subsequent write set before it can be forgotten (dirty methods), so no
+  committed image can silently miss an update.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import ALGORITHM_KEYS, make_policy
+
+NUM_OBJECTS = 24
+
+# A schedule is a list of steps: either an update batch or a boundary.
+update_batches = st.lists(
+    st.integers(min_value=0, max_value=NUM_OBJECTS - 1), min_size=1, max_size=8
+).map(lambda values: np.array(sorted(set(values)), dtype=np.int64))
+
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("updates"), update_batches),
+        st.tuples(st.just("boundary"), st.just(None)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def drive(policy, schedule):
+    """Run the schedule; returns per-checkpoint logs of effects and plans."""
+    checkpoints = []   # list of dicts: plan + accumulated effects
+    current = None
+
+    def boundary():
+        nonlocal current
+        if current is not None:
+            policy.finish_checkpoint()
+        plan = policy.begin_checkpoint()
+        current = {
+            "plan": plan,
+            "locks": [],
+            "copies": [],
+            "updated": set(),
+        }
+        checkpoints.append(current)
+
+    for op, payload in schedule:
+        if op == "boundary":
+            boundary()
+        else:
+            effects = policy.handle_updates(payload, int(payload.size))
+            if current is not None:
+                current["locks"].extend(effects.first_touch_ids.tolist())
+                current["copies"].extend(effects.copy_ids.tolist())
+                current["updated"] |= set(payload.tolist())
+    return checkpoints
+
+
+class TestPolicyInvariants:
+    @given(st.sampled_from(ALGORITHM_KEYS), steps)
+    @settings(max_examples=120, deadline=None)
+    def test_copy_once_per_checkpoint(self, key, schedule):
+        policy = make_policy(key, NUM_OBJECTS, full_dump_period=3)
+        # Ensure at least one boundary so updates land inside a checkpoint.
+        schedule = [("boundary", None)] + schedule
+        checkpoints = drive(policy, schedule)
+        for record in checkpoints:
+            assert len(record["copies"]) == len(set(record["copies"]))
+            assert len(record["locks"]) == len(set(record["locks"]))
+
+    @given(st.sampled_from(ALGORITHM_KEYS), steps)
+    @settings(max_examples=120, deadline=None)
+    def test_copies_subset_of_locks(self, key, schedule):
+        policy = make_policy(key, NUM_OBJECTS, full_dump_period=3)
+        schedule = [("boundary", None)] + schedule
+        for record in drive(policy, schedule):
+            assert set(record["copies"]) <= set(record["locks"])
+
+    @given(st.sampled_from(ALGORITHM_KEYS), steps)
+    @settings(max_examples=120, deadline=None)
+    def test_every_update_reaches_a_later_write_set(self, key, schedule):
+        """No lost updates: an object updated during checkpoint i appears in
+        the write set of some checkpoint j > i (within the next two
+        boundaries for double-backup methods, next full dump for logs)."""
+        policy = make_policy(key, NUM_OBJECTS, full_dump_period=3)
+        schedule = [("boundary", None)] + schedule + [
+            ("boundary", None)] * 4  # enough boundaries to flush both backups
+        checkpoints = drive(policy, schedule)
+        for index, record in enumerate(checkpoints[:-4]):
+            future_writes = set()
+            for later in checkpoints[index + 1:]:
+                plan = later["plan"]
+                if plan.write_ids is None:
+                    future_writes |= set(range(NUM_OBJECTS))
+                else:
+                    future_writes |= set(plan.write_ids.tolist())
+            assert record["updated"] <= future_writes
+
+    @given(st.sampled_from(ALGORITHM_KEYS), steps)
+    @settings(max_examples=60, deadline=None)
+    def test_write_sets_within_bounds(self, key, schedule):
+        policy = make_policy(key, NUM_OBJECTS, full_dump_period=3)
+        schedule = [("boundary", None)] + schedule
+        for record in drive(policy, schedule):
+            plan = record["plan"]
+            if plan.write_ids is not None:
+                ids = plan.write_ids
+                assert ids.size <= NUM_OBJECTS
+                if ids.size:
+                    assert ids.min() >= 0
+                    assert ids.max() < NUM_OBJECTS
+                    assert len(set(ids.tolist())) == ids.size

@@ -1,0 +1,137 @@
+"""Metamorphic property tests on the checkpoint simulator.
+
+These check relationships the model must satisfy regardless of workload:
+
+* hardware scaling laws (faster disk -> proportionally faster checkpoints
+  for full-state methods; overhead untouched);
+* workload monotonicity (more updates never reduce a bit-charging method's
+  overhead);
+* oblivion (Naive-Snapshot's results depend only on the tick count, not the
+  updates);
+* accounting identities (tick length = base + overhead; overhead = bits +
+  locks + copies + pauses; recovery = restore + replay).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAPER_HARDWARE, SimulationConfig, StateGeometry
+from repro.simulation.simulator import CheckpointSimulator
+from repro.workloads.base import MaterializedTrace
+
+GEOMETRY = StateGeometry(rows=200, columns=10)  # 2,000 cells, 16 objects
+CONFIG = SimulationConfig(hardware=PAPER_HARDWARE, geometry=GEOMETRY)
+
+traces = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=GEOMETRY.num_cells - 1),
+        min_size=0,
+        max_size=30,
+    ).map(lambda values: np.array(values, dtype=np.int64)),
+    min_size=3,
+    max_size=15,
+).map(lambda ticks: MaterializedTrace(GEOMETRY, ticks))
+
+algorithms = st.sampled_from(
+    ["naive-snapshot", "dribble", "atomic-copy", "partial-redo",
+     "copy-on-update", "cou-partial-redo"]
+)
+
+
+class TestAccountingIdentities:
+    @given(algorithm=algorithms, trace=traces)
+    @settings(max_examples=60, deadline=None)
+    def test_identities_hold(self, algorithm, trace):
+        result = CheckpointSimulator(CONFIG).run(algorithm, trace)
+        assert np.allclose(
+            result.tick_length, result.base_tick_length + result.tick_overhead
+        )
+        assert np.allclose(
+            result.tick_overhead,
+            result.bit_time + result.lock_time + result.copy_time
+            + result.pause_time,
+        )
+        assert (result.tick_overhead >= -1e-15).all()
+        recovery = result.recovery
+        assert recovery.total == pytest.approx(
+            recovery.restore_time + recovery.replay_time
+        )
+
+    @given(algorithm=algorithms, trace=traces)
+    @settings(max_examples=40, deadline=None)
+    def test_checkpoints_cover_the_run(self, algorithm, trace):
+        """Checkpoints are back-to-back: every start tick follows the
+        previous finish, and indices are consecutive."""
+        result = CheckpointSimulator(CONFIG).run(algorithm, trace)
+        records = result.checkpoints
+        assert records, "at least the initial checkpoint must start"
+        assert [record.index for record in records] == list(
+            range(len(records))
+        )
+        for earlier, later in zip(records, records[1:]):
+            assert earlier.finished_tick is not None
+            assert later.start_tick == earlier.finished_tick
+
+
+class TestHardwareScaling:
+    @given(trace=traces, factor=st.sampled_from([2.0, 4.0, 10.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_disk_speedup_scales_full_state_checkpoints(self, trace, factor):
+        slow = CheckpointSimulator(CONFIG).run("copy-on-update", trace)
+        fast_hardware = replace(
+            PAPER_HARDWARE, disk_bandwidth=PAPER_HARDWARE.disk_bandwidth * factor
+        )
+        fast = CheckpointSimulator(
+            replace(CONFIG, hardware=fast_hardware)
+        ).run("copy-on-update", trace)
+        if slow.avg_checkpoint_time > 0:
+            ratio = slow.avg_checkpoint_time / fast.avg_checkpoint_time
+            # Durations quantize to tick boundaries only via the period, not
+            # the duration itself, so the scaling law is exact.
+            assert ratio == pytest.approx(factor, rel=0.01)
+
+    @given(trace=traces)
+    @settings(max_examples=30, deadline=None)
+    def test_disk_speed_does_not_change_update_overhead(self, trace):
+        slow = CheckpointSimulator(CONFIG).run("atomic-copy", trace)
+        fast_hardware = replace(
+            PAPER_HARDWARE, disk_bandwidth=PAPER_HARDWARE.disk_bandwidth * 8
+        )
+        fast = CheckpointSimulator(
+            replace(CONFIG, hardware=fast_hardware)
+        ).run("atomic-copy", trace)
+        # Bit-test time depends only on the update stream.
+        assert np.allclose(slow.bit_time, fast.bit_time)
+
+
+class TestWorkloadRelations:
+    @given(trace=traces)
+    @settings(max_examples=30, deadline=None)
+    def test_naive_snapshot_is_workload_oblivious(self, trace):
+        """NS has no per-update machinery: an empty trace of equal length
+        produces identical tick series."""
+        empty = MaterializedTrace(
+            GEOMETRY,
+            [np.empty(0, dtype=np.int64) for _ in range(trace.num_ticks)],
+        )
+        with_updates = CheckpointSimulator(CONFIG).run("naive-snapshot", trace)
+        without = CheckpointSimulator(CONFIG).run("naive-snapshot", empty)
+        assert np.allclose(with_updates.tick_overhead, without.tick_overhead)
+
+    @given(trace=traces)
+    @settings(max_examples=30, deadline=None)
+    def test_doubling_updates_never_cheapens_bit_costs(self, trace):
+        doubled = MaterializedTrace(
+            GEOMETRY, [np.concatenate([cells, cells]) for cells in trace]
+        )
+        base = CheckpointSimulator(CONFIG).run("copy-on-update", trace)
+        heavy = CheckpointSimulator(CONFIG).run("copy-on-update", doubled)
+        # Same unique objects per tick -> same locks/copies, but twice the
+        # bit tests: overhead is monotone.
+        assert (heavy.bit_time >= base.bit_time - 1e-15).all()
+        assert np.allclose(heavy.lock_time, base.lock_time)
+        assert np.allclose(heavy.copy_time, base.copy_time)

@@ -1,0 +1,76 @@
+"""Property tests on traces (invariant 6: lossless round-trips)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StateGeometry
+from repro.workloads.base import MaterializedTrace
+from repro.workloads.trace_file import load_trace, save_trace
+from repro.workloads.zipf import ZipfDistribution, ZipfTrace
+
+GEOMETRY = StateGeometry(rows=30, columns=5)
+
+tick_lists = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=GEOMETRY.num_cells - 1),
+        min_size=0,
+        max_size=20,
+    ).map(lambda values: np.array(values, dtype=np.int64)),
+    min_size=0,
+    max_size=10,
+)
+
+
+class TestTraceFileRoundTrip:
+    @given(ticks=tick_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_save_load_preserves_every_tick(self, ticks, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "trace.npz"
+        trace = MaterializedTrace(GEOMETRY, ticks)
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_ticks == trace.num_ticks
+        assert loaded.geometry == GEOMETRY
+        for original, restored in zip(trace.ticks(), loaded.ticks()):
+            assert np.array_equal(original, restored)
+
+
+class TestZipfProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=10_000),
+        theta=st.floats(min_value=0.0, max_value=0.99),
+        size=st.integers(min_value=0, max_value=2_000),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_samples_always_in_domain(self, n, theta, size, seed):
+        dist = ZipfDistribution(n, theta)
+        samples = dist.sample(size, np.random.default_rng(seed))
+        assert samples.shape == (size,)
+        if size:
+            assert samples.min() >= 0
+            assert samples.max() < n
+
+    @given(
+        updates=st.integers(min_value=0, max_value=500),
+        theta=st.floats(min_value=0.0, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**16),
+        scramble=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_trace_cells_valid_and_deterministic(
+        self, updates, theta, seed, scramble
+    ):
+        trace = ZipfTrace(
+            GEOMETRY, updates_per_tick=updates, skew=theta, num_ticks=3,
+            seed=seed, scramble=scramble,
+        )
+        first = [cells.copy() for cells in trace.ticks()]
+        second = list(trace.ticks())
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+            assert a.size == updates
+            if a.size:
+                assert a.min() >= 0
+                assert a.max() < GEOMETRY.num_cells

@@ -1,0 +1,99 @@
+"""Tests for the rejected-alternatives models."""
+
+import pytest
+
+from repro.config import PAPER_GEOMETRY, PAPER_HARDWARE
+from repro.errors import SimulationError
+from repro.simulation.alternatives import (
+    SECONDS_PER_YEAR,
+    assess_checkpoint_recovery,
+    assess_k_safety,
+    assess_physical_logging,
+)
+
+
+class TestPhysicalLogging:
+    def test_low_rates_feasible(self):
+        assessment = assess_physical_logging(
+            1_000, PAPER_HARDWARE, PAPER_GEOMETRY
+        )
+        assert assessment.feasible
+        assert assessment.bandwidth_fraction < 0.05
+
+    def test_high_rates_exhaust_the_disk(self):
+        """The paper's claim: physically logging the stream "could easily
+        exhaust the available disk bandwidth"."""
+        assessment = assess_physical_logging(
+            256_000, PAPER_HARDWARE, PAPER_GEOMETRY
+        )
+        assert not assessment.feasible
+        assert assessment.bandwidth_fraction > 1.0
+
+    def test_object_granularity_is_worse(self):
+        cell = assess_physical_logging(
+            64_000, PAPER_HARDWARE, PAPER_GEOMETRY, cell_granularity=True
+        )
+        page = assess_physical_logging(
+            64_000, PAPER_HARDWARE, PAPER_GEOMETRY, cell_granularity=False
+        )
+        assert page.bytes_per_second_required > cell.bytes_per_second_required
+
+    def test_linear_in_rate(self):
+        one = assess_physical_logging(1_000, PAPER_HARDWARE, PAPER_GEOMETRY)
+        ten = assess_physical_logging(10_000, PAPER_HARDWARE, PAPER_GEOMETRY)
+        assert ten.bytes_per_second_required == pytest.approx(
+            10 * one.bytes_per_second_required
+        )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            assess_physical_logging(-1, PAPER_HARDWARE, PAPER_GEOMETRY)
+
+
+class TestAvailability:
+    def test_checkpoint_recovery_meets_four_nines(self):
+        """The paper: "at the failure rates observed for current server
+        hardware, there is more than adequate room" for checkpoint
+        recovery within 99.99% uptime."""
+        assessment = assess_checkpoint_recovery(
+            recovery_seconds=1.4, crashes_per_year=12
+        )
+        assert assessment.meets_four_nines()
+        assert assessment.downtime_seconds_per_year == pytest.approx(16.8)
+
+    def test_many_minutes_of_recovery_still_fits(self):
+        # Even several minutes per crash stays within ~1 hour/year.
+        assessment = assess_checkpoint_recovery(
+            recovery_seconds=240, crashes_per_year=12
+        )
+        assert assessment.meets_four_nines()
+
+    def test_extreme_recovery_breaks_the_bar(self):
+        assessment = assess_checkpoint_recovery(
+            recovery_seconds=3_600, crashes_per_year=12
+        )
+        assert not assessment.meets_four_nines()
+
+    def test_k_safety_utilization(self):
+        assert assess_k_safety(2, 12).utilization == pytest.approx(0.5)
+        assert assess_k_safety(4, 12).utilization == pytest.approx(0.25)
+
+    def test_overhead_fraction_reduces_utilization(self):
+        assessment = assess_checkpoint_recovery(
+            1.4, 12, overhead_fraction=0.06
+        )
+        assert assessment.utilization == pytest.approx(0.94)
+
+    def test_availability_definition(self):
+        assessment = assess_checkpoint_recovery(
+            recovery_seconds=SECONDS_PER_YEAR / 100, crashes_per_year=1
+        )
+        assert assessment.availability == pytest.approx(0.99)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            assess_k_safety(1, 12)
+        with pytest.raises(SimulationError):
+            assess_checkpoint_recovery(1.0, 12, overhead_fraction=1.0)
+        with pytest.raises(SimulationError):
+            assess_checkpoint_recovery(-1.0, 12)

@@ -1,0 +1,147 @@
+"""Tests for the analytic cost model (Section 4.2 formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_GEOMETRY, PAPER_HARDWARE, StateGeometry
+from repro.core.plan import UpdateEffects, empty_ids
+from repro.errors import SimulationError
+from repro.simulation.costmodel import CostModel, contiguous_groups
+
+
+@pytest.fixture
+def paper_model():
+    return CostModel(PAPER_HARDWARE, PAPER_GEOMETRY)
+
+
+@pytest.fixture
+def small_model():
+    geometry = StateGeometry(rows=100, columns=10, cell_bytes=4, object_bytes=40)
+    return CostModel(PAPER_HARDWARE, geometry)
+
+
+class TestContiguousGroups:
+    def test_empty(self):
+        assert contiguous_groups(np.array([], dtype=np.int64)) == 0
+
+    def test_single(self):
+        assert contiguous_groups(np.array([5])) == 1
+
+    def test_one_run(self):
+        assert contiguous_groups(np.arange(10)) == 1
+
+    def test_scattered(self):
+        assert contiguous_groups(np.array([0, 2, 4, 6])) == 4
+
+    def test_mixed(self):
+        assert contiguous_groups(np.array([0, 1, 2, 9, 10, 20])) == 3
+
+
+class TestSyncCopy:
+    def test_full_state_copy_matches_paper(self, paper_model):
+        """~17-18 ms for the 40 MB state at 2.2 GB/s (Section 5.2)."""
+        assert paper_model.full_sync_copy_time() == pytest.approx(0.0182, rel=0.05)
+
+    def test_sync_copy_contiguous_equals_full(self, paper_model):
+        ids = np.arange(PAPER_GEOMETRY.num_objects)
+        assert paper_model.sync_copy_time(ids) == pytest.approx(
+            paper_model.full_sync_copy_time()
+        )
+
+    def test_scattered_pays_per_group_latency(self, paper_model):
+        contiguous = paper_model.sync_copy_time(np.arange(100))
+        scattered = paper_model.sync_copy_time(np.arange(100) * 2)
+        assert scattered == pytest.approx(
+            contiguous + 99 * PAPER_HARDWARE.memory_latency
+        )
+
+    def test_empty_copy_is_free(self, paper_model):
+        assert paper_model.sync_copy_time(empty_ids()) == 0.0
+
+    def test_single_object_copy(self, paper_model):
+        expected = 100e-9 + 512 / 2.2e9
+        assert paper_model.single_object_copy_time() == pytest.approx(expected)
+
+
+class TestAsyncWrite:
+    def test_log_write_linear_in_k(self, paper_model):
+        one = paper_model.log_write_time(1)
+        thousand = paper_model.log_write_time(1_000)
+        assert thousand == pytest.approx(1_000 * one)
+
+    def test_log_write_zero(self, paper_model):
+        assert paper_model.log_write_time(0) == 0.0
+
+    def test_full_log_write_matches_paper(self, paper_model):
+        """Writing the whole 40 MB state at 60 MB/s takes ~0.67 s."""
+        n = PAPER_GEOMETRY.num_objects
+        assert paper_model.log_write_time(n) == pytest.approx(0.667, rel=0.01)
+
+    def test_double_backup_independent_of_k(self, paper_model):
+        """The "slightly counter-intuitive (but correct)" property."""
+        full = paper_model.double_backup_write_time(PAPER_GEOMETRY.num_objects)
+        assert paper_model.double_backup_write_time(1) == pytest.approx(full)
+        assert paper_model.double_backup_write_time(1_000) == pytest.approx(full)
+
+    def test_double_backup_zero_writes_nothing(self, paper_model):
+        assert paper_model.double_backup_write_time(0) == 0.0
+
+    def test_negative_k_rejected(self, paper_model):
+        with pytest.raises(SimulationError):
+            paper_model.log_write_time(-1)
+        with pytest.raises(SimulationError):
+            paper_model.double_backup_write_time(-1)
+
+
+class TestUpdateOverhead:
+    def test_formula(self, paper_model):
+        effects = UpdateEffects(
+            bit_tests=1_000,
+            first_touch_ids=np.arange(10),
+            copy_ids=np.arange(4),
+        )
+        expected = (
+            1_000 * 2e-9
+            + 10 * 145e-9
+            + 4 * paper_model.single_object_copy_time()
+        )
+        assert paper_model.update_overhead(effects) == pytest.approx(expected)
+
+    def test_none_effects_free(self, paper_model):
+        assert paper_model.update_overhead(UpdateEffects.none()) == 0.0
+
+
+class TestRestore:
+    def test_full_image_restore(self, paper_model):
+        assert paper_model.restore_time_full_image() == pytest.approx(
+            0.667, rel=0.01
+        )
+
+    def test_log_restore_formula(self, paper_model):
+        n = PAPER_GEOMETRY.num_objects
+        # (k*C + n) * Sobj / Bdisk
+        expected = (1_000 * 9 + n) * 512 / 60e6
+        assert paper_model.restore_time_log(1_000, 9) == pytest.approx(expected)
+
+    def test_log_restore_at_saturation_matches_paper(self, paper_model):
+        """k ~ n and C = 9 gives the ~6.7 s restore behind the paper's 7.2 s
+        recovery at 256,000 updates/tick."""
+        n = PAPER_GEOMETRY.num_objects
+        restore = paper_model.restore_time_log(n, 9)
+        assert restore == pytest.approx(10 * 0.667, rel=0.01)
+
+    def test_log_restore_validation(self, paper_model):
+        with pytest.raises(SimulationError):
+            paper_model.restore_time_log(-1, 9)
+        with pytest.raises(SimulationError):
+            paper_model.restore_time_log(10, 0)
+
+
+class TestMonotonicity:
+    def test_costs_monotone_in_object_count(self, small_model):
+        times = [
+            small_model.sync_copy_time(np.arange(k)) for k in (0, 1, 5, 10)
+        ]
+        assert times == sorted(times)
+        writes = [small_model.log_write_time(k) for k in (0, 1, 5, 10)]
+        assert writes == sorted(writes)

@@ -1,0 +1,66 @@
+"""Tests for the virtual-time disk-write scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.disk import DiskWriteScheduler, WriteJob
+
+
+class TestWriteJob:
+    def test_finish_time(self):
+        job = WriteJob(start_time=1.0, duration=0.5)
+        assert job.finish_time == 1.5
+
+    def test_finished(self):
+        job = WriteJob(start_time=0.0, duration=1.0)
+        assert not job.finished(0.5)
+        assert job.finished(1.0)
+        assert job.finished(2.0)
+
+    def test_progress(self):
+        job = WriteJob(start_time=0.0, duration=2.0)
+        assert job.progress(-1.0) == 0.0
+        assert job.progress(1.0) == 0.5
+        assert job.progress(5.0) == 1.0
+
+    def test_zero_duration_completes_immediately(self):
+        job = WriteJob(start_time=3.0, duration=0.0)
+        assert job.finished(3.0)
+        assert job.progress(3.0) == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            WriteJob(start_time=0.0, duration=-1.0)
+
+
+class TestScheduler:
+    def test_initially_finished(self):
+        scheduler = DiskWriteScheduler()
+        assert scheduler.finished(0.0)
+        assert scheduler.active_job is None
+
+    def test_begin_and_retire(self):
+        scheduler = DiskWriteScheduler()
+        scheduler.begin(0.0, 1.0)
+        assert not scheduler.finished(0.5)
+        assert scheduler.finished(1.0)
+        job = scheduler.retire(1.0)
+        assert job.duration == 1.0
+        assert scheduler.active_job is None
+
+    def test_double_begin_rejected(self):
+        scheduler = DiskWriteScheduler()
+        scheduler.begin(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            scheduler.begin(2.0, 1.0)
+
+    def test_retire_too_early_rejected(self):
+        scheduler = DiskWriteScheduler()
+        scheduler.begin(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            scheduler.retire(0.5)
+
+    def test_retire_without_job_rejected(self):
+        scheduler = DiskWriteScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.retire(0.0)

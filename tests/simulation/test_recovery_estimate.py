@@ -1,0 +1,90 @@
+"""Tests for the recovery-time estimator."""
+
+import pytest
+
+from repro.config import PAPER_GEOMETRY, PAPER_HARDWARE
+from repro.core.algorithms import (
+    CopyOnUpdate,
+    CopyOnUpdatePartialRedo,
+    DribbleAndCopyOnUpdate,
+    NaiveSnapshot,
+    PartialRedo,
+)
+from repro.core.plan import DiskLayout
+from repro.simulation.costmodel import CostModel
+from repro.simulation.recovery import (
+    RecoveryEstimate,
+    estimate_recovery,
+    reads_log_tail,
+)
+from repro.simulation.results import CheckpointRecord
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel(PAPER_HARDWARE, PAPER_GEOMETRY)
+
+
+def record(duration, write_count, is_full_dump=False):
+    return CheckpointRecord(
+        index=0, start_tick=0, start_time=0.0, sync_pause=0.0,
+        write_count=write_count, async_duration=duration,
+        layout=DiskLayout.LOG, is_full_dump=is_full_dump, finished_tick=1,
+    )
+
+
+class TestClassification:
+    def test_only_partial_redo_pair_reads_log_tail(self):
+        assert reads_log_tail(PartialRedo)
+        assert reads_log_tail(CopyOnUpdatePartialRedo)
+        assert not reads_log_tail(NaiveSnapshot)
+        assert not reads_log_tail(CopyOnUpdate)
+        # Dribble writes full images to its log: restore reads one image.
+        assert not reads_log_tail(DribbleAndCopyOnUpdate)
+
+
+class TestEstimates:
+    def test_full_image_methods(self, cost_model):
+        estimate = estimate_recovery(
+            CopyOnUpdate, [record(0.6, 1000)], cost_model, 9
+        )
+        assert estimate.restore_time == pytest.approx(
+            cost_model.restore_time_full_image()
+        )
+        assert estimate.replay_time == pytest.approx(0.6)
+        assert estimate.total == pytest.approx(
+            estimate.restore_time + estimate.replay_time
+        )
+
+    def test_replay_is_mean_duration(self, cost_model):
+        estimate = estimate_recovery(
+            NaiveSnapshot, [record(0.4, 10), record(0.8, 10)], cost_model, 9
+        )
+        assert estimate.replay_time == pytest.approx(0.6)
+
+    def test_log_methods_use_partial_k_only(self, cost_model):
+        records = [
+            record(0.1, 1_000),
+            record(0.7, PAPER_GEOMETRY.num_objects, is_full_dump=True),
+            record(0.1, 3_000),
+        ]
+        estimate = estimate_recovery(PartialRedo, records, cost_model, 9)
+        assert estimate.restore_time == pytest.approx(
+            cost_model.restore_time_log(2_000, 9)
+        )
+
+    def test_log_methods_all_full_dumps(self, cost_model):
+        records = [record(0.7, PAPER_GEOMETRY.num_objects, is_full_dump=True)]
+        estimate = estimate_recovery(PartialRedo, records, cost_model, 1)
+        assert estimate.restore_time == pytest.approx(
+            cost_model.restore_time_full_image()
+        )
+
+    def test_no_checkpoints(self, cost_model):
+        estimate = estimate_recovery(NaiveSnapshot, [], cost_model, 9)
+        assert estimate.replay_time == 0.0
+        assert estimate.restore_time > 0.0
+
+    def test_estimate_total(self):
+        estimate = RecoveryEstimate(restore_time=2.0, replay_time=0.5)
+        assert estimate.total == 2.5

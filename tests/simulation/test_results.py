@@ -1,0 +1,179 @@
+"""Tests for simulation result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_HARDWARE, SimulationConfig, StateGeometry
+from repro.core.plan import DiskLayout
+from repro.errors import SimulationError
+from repro.simulation.recovery import RecoveryEstimate
+from repro.simulation.results import CheckpointRecord, SimulationResult
+
+
+def make_result(num_ticks=10, warmup=0, overheads=None, checkpoints=None):
+    geometry = StateGeometry(rows=10, columns=10)
+    config = SimulationConfig(
+        hardware=PAPER_HARDWARE, geometry=geometry, warmup_ticks=warmup
+    )
+    if overheads is None:
+        overheads = np.zeros(num_ticks)
+    overheads = np.asarray(overheads, dtype=float)
+    zeros = np.zeros_like(overheads)
+    return SimulationResult(
+        algorithm_key="copy-on-update",
+        algorithm_name="Copy-on-Update",
+        config=config,
+        base_tick_length=PAPER_HARDWARE.tick_duration,
+        tick_updates=np.full(overheads.size, 5, dtype=np.int64),
+        tick_overhead=overheads,
+        tick_length=PAPER_HARDWARE.tick_duration + overheads,
+        bit_time=zeros,
+        lock_time=zeros,
+        copy_time=zeros,
+        pause_time=zeros,
+        checkpoints=checkpoints or [],
+        recovery=RecoveryEstimate(restore_time=1.0, replay_time=0.5),
+    )
+
+
+def record(index, start_tick, duration=0.1, write_count=10, finished_tick=None,
+           is_full_dump=False):
+    return CheckpointRecord(
+        index=index,
+        start_tick=start_tick,
+        start_time=start_tick / 30,
+        sync_pause=0.0,
+        write_count=write_count,
+        async_duration=duration,
+        layout=DiskLayout.DOUBLE_BACKUP,
+        is_full_dump=is_full_dump,
+        finished_tick=finished_tick,
+    )
+
+
+class TestAggregates:
+    def test_avg_overhead_excludes_warmup(self):
+        overheads = [1.0] * 5 + [0.1] * 5
+        result = make_result(overheads=overheads, warmup=5)
+        assert result.avg_overhead == pytest.approx(0.1)
+
+    def test_avg_overhead_all_ticks_without_warmup(self):
+        result = make_result(overheads=[0.1, 0.3])
+        assert result.avg_overhead == pytest.approx(0.2)
+
+    def test_max_overhead(self):
+        result = make_result(overheads=[0.1, 0.5, 0.2])
+        assert result.max_overhead == pytest.approx(0.5)
+
+    def test_latency_limit_detection(self):
+        limit = PAPER_HARDWARE.latency_limit
+        quiet = make_result(overheads=[limit * 0.9] * 3)
+        loud = make_result(overheads=[limit * 1.1] * 3)
+        assert not quiet.exceeds_latency_limit()
+        assert loud.exceeds_latency_limit()
+
+    def test_checkpoint_time_average(self):
+        records = [
+            record(0, 0, duration=0.2, finished_tick=3),
+            record(1, 3, duration=0.4, finished_tick=6),
+        ]
+        result = make_result(checkpoints=records)
+        assert result.avg_checkpoint_time == pytest.approx(0.3)
+
+    def test_measured_checkpoints_prefer_post_warmup(self):
+        records = [
+            record(0, 0, duration=1.0, finished_tick=3),
+            record(1, 8, duration=0.2, finished_tick=9),
+        ]
+        result = make_result(warmup=5, checkpoints=records)
+        assert result.avg_checkpoint_time == pytest.approx(0.2)
+
+    def test_measured_checkpoints_fallback_to_completed(self):
+        records = [record(0, 0, duration=0.7, finished_tick=3)]
+        result = make_result(warmup=5, checkpoints=records)
+        assert result.avg_checkpoint_time == pytest.approx(0.7)
+
+    def test_avg_objects_written(self):
+        records = [
+            record(0, 0, write_count=10, finished_tick=1),
+            record(1, 1, write_count=30, finished_tick=2),
+        ]
+        result = make_result(checkpoints=records)
+        assert result.avg_objects_written == pytest.approx(20)
+
+    def test_checkpoint_period(self):
+        records = [record(0, 0, finished_tick=3), record(1, 6, finished_tick=9)]
+        result = make_result(checkpoints=records)
+        assert result.avg_checkpoint_period == pytest.approx(6 / 30)
+
+    def test_recovery_time(self):
+        result = make_result()
+        assert result.recovery_time == pytest.approx(1.5)
+
+    def test_overhead_percentiles(self):
+        result = make_result(overheads=[0.0, 0.1, 0.2, 0.3, 0.4])
+        assert result.overhead_percentile(0) == pytest.approx(0.0)
+        assert result.overhead_percentile(50) == pytest.approx(0.2)
+        assert result.overhead_percentile(100) == pytest.approx(0.4)
+
+    def test_overhead_percentile_validation(self):
+        result = make_result()
+        with pytest.raises(SimulationError):
+            result.overhead_percentile(101)
+
+    def test_concentration_distinguishes_spiky_from_flat(self):
+        flat = make_result(overheads=[0.1] * 10)
+        spiky = make_result(overheads=[0.001] * 9 + [0.5])
+        assert flat.overhead_concentration() == pytest.approx(1.0)
+        assert spiky.overhead_concentration() > 100
+
+    def test_concentration_zero_overhead(self):
+        assert make_result(overheads=[0.0] * 5).overhead_concentration() == 1.0
+
+    def test_recovery_missing_raises(self):
+        result = make_result()
+        result.recovery = None
+        with pytest.raises(SimulationError):
+            _ = result.recovery_time
+
+    def test_summary_keys(self):
+        result = make_result(checkpoints=[record(0, 0, finished_tick=1)])
+        summary = result.summary()
+        for key in (
+            "algorithm", "avg_overhead_s", "avg_checkpoint_s", "recovery_s",
+            "checkpoints_completed", "exceeds_latency_limit",
+        ):
+            assert key in summary
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(SimulationError):
+            geometry = StateGeometry(rows=10, columns=10)
+            config = SimulationConfig(
+                hardware=PAPER_HARDWARE, geometry=geometry
+            )
+            SimulationResult(
+                algorithm_key="x",
+                algorithm_name="x",
+                config=config,
+                base_tick_length=0.03,
+                tick_updates=np.zeros(3, dtype=np.int64),
+                tick_overhead=np.zeros(2),
+                tick_length=np.zeros(3),
+                bit_time=np.zeros(3),
+                lock_time=np.zeros(3),
+                copy_time=np.zeros(3),
+                pause_time=np.zeros(3),
+            )
+
+
+class TestCheckpointRecord:
+    def test_duration_includes_pause(self):
+        rec = CheckpointRecord(
+            index=0, start_tick=0, start_time=0.0, sync_pause=0.017,
+            write_count=5, async_duration=0.6,
+            layout=DiskLayout.DOUBLE_BACKUP,
+        )
+        assert rec.duration == pytest.approx(0.617)
+        assert not rec.completed
+        rec.finished_tick = 20
+        assert rec.completed

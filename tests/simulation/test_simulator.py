@@ -1,0 +1,189 @@
+"""Tests for the tick-driven checkpoint simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_HARDWARE, SimulationConfig, StateGeometry
+from repro.core.registry import ALGORITHM_KEYS, make_policy
+from repro.errors import SimulationError
+from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.workloads.base import MaterializedTrace
+from repro.workloads.uniform import UniformTrace
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=400, columns=10)  # 4,000 cells, 32 objects
+
+
+@pytest.fixture
+def config(geometry):
+    return SimulationConfig(hardware=PAPER_HARDWARE, geometry=geometry)
+
+
+@pytest.fixture
+def simulator(config):
+    return CheckpointSimulator(config)
+
+
+@pytest.fixture
+def trace(geometry):
+    return UniformTrace(geometry, updates_per_tick=40, num_ticks=60, seed=1)
+
+
+class TestRunBasics:
+    def test_runs_every_algorithm(self, simulator, trace):
+        results = simulator.run_all(trace)
+        assert [r.algorithm_key for r in results] == list(ALGORITHM_KEYS)
+        for result in results:
+            assert result.num_ticks == 60
+            assert result.checkpoints, "no checkpoints were taken"
+
+    def test_tick_lengths_at_least_base(self, simulator, trace):
+        for result in simulator.run_all(trace):
+            assert (result.tick_length >= result.base_tick_length - 1e-12).all()
+            assert (result.tick_overhead >= 0).all()
+
+    def test_tick_length_is_base_plus_overhead(self, simulator, trace):
+        result = simulator.run("copy-on-update", trace)
+        assert np.allclose(
+            result.tick_length, result.base_tick_length + result.tick_overhead
+        )
+
+    def test_overhead_breakdown_sums(self, simulator, trace):
+        result = simulator.run("copy-on-update", trace)
+        total = (
+            result.bit_time + result.lock_time + result.copy_time
+            + result.pause_time
+        )
+        assert np.allclose(result.tick_overhead, total)
+
+    def test_checkpoints_back_to_back(self, simulator, trace):
+        """A new checkpoint starts at the boundary where the old finishes."""
+        result = simulator.run("naive-snapshot", trace)
+        records = result.checkpoints
+        for earlier, later in zip(records, records[1:]):
+            assert earlier.finished_tick is not None
+            assert later.start_tick == earlier.finished_tick
+
+    def test_recovery_estimate_present(self, simulator, trace):
+        for result in simulator.run_all(trace):
+            assert result.recovery is not None
+            assert result.recovery.total > 0
+
+    def test_updates_recorded(self, simulator, trace):
+        result = simulator.run("dribble", trace)
+        assert (result.tick_updates == 40).all()
+
+
+class TestValidation:
+    def test_geometry_mismatch_rejected(self, simulator):
+        other = UniformTrace(
+            StateGeometry(rows=10, columns=10), updates_per_tick=1, num_ticks=1
+        )
+        with pytest.raises(SimulationError):
+            simulator.run("dribble", other)
+
+    def test_used_policy_rejected(self, simulator, trace, geometry):
+        policy = make_policy("dribble", geometry.num_objects)
+        policy.begin_checkpoint()
+        with pytest.raises(SimulationError):
+            simulator.run(policy, trace)
+
+    def test_wrong_sized_policy_rejected(self, simulator, trace):
+        policy = make_policy("dribble", 7)
+        with pytest.raises(SimulationError):
+            simulator.run(policy, trace)
+
+    def test_policy_instance_accepted(self, simulator, trace, geometry):
+        policy = make_policy("copy-on-update", geometry.num_objects)
+        result = simulator.run(policy, trace)
+        assert result.algorithm_key == "copy-on-update"
+
+
+class TestPrecomputedObjectTrace:
+    def test_equivalent_results(self, simulator, trace):
+        direct = simulator.run("copy-on-update", trace)
+        precomputed = simulator.run(
+            "copy-on-update", PrecomputedObjectTrace(trace)
+        )
+        assert np.allclose(direct.tick_overhead, precomputed.tick_overhead)
+        assert direct.avg_checkpoint_time == pytest.approx(
+            precomputed.avg_checkpoint_time
+        )
+
+    def test_counts_preserved(self, geometry):
+        trace = MaterializedTrace(geometry, [np.array([0, 0, 1, 200])])
+        precomputed = PrecomputedObjectTrace(trace)
+        (objects, count), = precomputed.object_ticks()
+        assert count == 4
+        assert objects.tolist() == [0, 1]  # cells 0,1 share object 0
+
+    def test_num_ticks(self, trace):
+        assert PrecomputedObjectTrace(trace).num_ticks == trace.num_ticks
+
+
+class TestEmptyWorkload:
+    def test_idle_trace_runs(self, simulator, geometry):
+        trace = UniformTrace(geometry, updates_per_tick=0, num_ticks=10)
+        for result in simulator.run_all(trace):
+            assert result.num_ticks == 10
+            if result.algorithm_key == "naive-snapshot":
+                # Naive-Snapshot copies the whole state every checkpoint no
+                # matter what -- its overhead never goes to zero.
+                assert (result.pause_time > 0).any()
+            else:
+                # Dirty-tracking methods take free empty checkpoints once
+                # the cold-start full ones have drained.
+                assert result.tick_overhead[5:].sum() == pytest.approx(0.0)
+
+
+class TestCheckpointIntervalCap:
+    def test_interval_spaces_checkpoint_starts(self, geometry, trace):
+        config = SimulationConfig(
+            hardware=PAPER_HARDWARE,
+            geometry=geometry,
+            min_checkpoint_interval_ticks=7,
+        )
+        result = CheckpointSimulator(config).run("copy-on-update", trace)
+        starts = [record.start_tick for record in result.checkpoints]
+        assert all(b - a >= 7 for a, b in zip(starts, starts[1:]))
+
+    def test_interval_one_is_paper_behavior(self, simulator, geometry, trace):
+        config = SimulationConfig(
+            hardware=PAPER_HARDWARE,
+            geometry=geometry,
+            min_checkpoint_interval_ticks=1,
+        )
+        capped = CheckpointSimulator(config).run("copy-on-update", trace)
+        default = simulator.run("copy-on-update", trace)
+        assert np.allclose(capped.tick_overhead, default.tick_overhead)
+        assert capped.recovery_time == default.recovery_time
+
+    def test_interval_floors_replay_estimate(self, geometry, trace):
+        config = SimulationConfig(
+            hardware=PAPER_HARDWARE,
+            geometry=geometry,
+            min_checkpoint_interval_ticks=60,  # longer than the run needs
+        )
+        result = CheckpointSimulator(config).run("copy-on-update", trace)
+        tick = PAPER_HARDWARE.tick_duration
+        assert result.recovery.replay_time >= 59 * tick
+
+    def test_bad_interval_rejected(self, geometry):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                hardware=PAPER_HARDWARE,
+                geometry=geometry,
+                min_checkpoint_interval_ticks=0,
+            )
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self, simulator, trace):
+        a = simulator.run("cou-partial-redo", trace)
+        b = simulator.run("cou-partial-redo", trace)
+        assert np.array_equal(a.tick_overhead, b.tick_overhead)
+        assert a.recovery_time == b.recovery_time

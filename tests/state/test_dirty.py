@@ -1,0 +1,164 @@
+"""Tests for the dirty-tracking structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.state.dirty import DoubleBackupBits, EpochSet, PolarityBitmap
+
+
+class TestPolarityBitmap:
+    def test_starts_clear(self):
+        bitmap = PolarityBitmap(8)
+        assert bitmap.count_set() == 0
+        assert not bitmap.test([0, 3, 7]).any()
+
+    def test_fill_starts_set(self):
+        bitmap = PolarityBitmap(8, fill=True)
+        assert bitmap.count_set() == 8
+        assert bitmap.test([0, 7]).all()
+
+    def test_set_and_clear(self):
+        bitmap = PolarityBitmap(10)
+        bitmap.set([1, 3, 5])
+        assert bitmap.test([1, 3, 5]).all()
+        assert not bitmap.test([0, 2, 4]).any()
+        bitmap.clear([3])
+        assert bitmap.test([1]).all()
+        assert not bitmap.test([3]).any()
+
+    def test_set_ids_sorted(self):
+        bitmap = PolarityBitmap(10)
+        bitmap.set([7, 2, 5])
+        assert bitmap.set_ids().tolist() == [2, 5, 7]
+
+    def test_flip_all_inverts(self):
+        bitmap = PolarityBitmap(6)
+        bitmap.set([0, 1])
+        bitmap.flip_all()
+        assert bitmap.set_ids().tolist() == [2, 3, 4, 5]
+
+    def test_flip_all_is_o1_clear_when_all_set(self):
+        bitmap = PolarityBitmap(6)
+        bitmap.set_all()
+        bitmap.flip_all()
+        assert bitmap.count_set() == 0
+        # And the map is fully usable afterwards.
+        bitmap.set([4])
+        assert bitmap.set_ids().tolist() == [4]
+
+    def test_double_flip_is_identity(self):
+        bitmap = PolarityBitmap(5)
+        bitmap.set([1, 4])
+        before = bitmap.values()
+        bitmap.flip_all()
+        bitmap.flip_all()
+        assert np.array_equal(bitmap.values(), before)
+
+    def test_set_all_clear_all(self):
+        bitmap = PolarityBitmap(4)
+        bitmap.set_all()
+        assert bitmap.count_set() == 4
+        bitmap.clear_all()
+        assert bitmap.count_set() == 0
+
+    def test_values_returns_copy(self):
+        bitmap = PolarityBitmap(4)
+        values = bitmap.values()
+        values[0] = True
+        assert bitmap.count_set() == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            PolarityBitmap(0)
+
+
+class TestEpochSet:
+    def test_starts_empty(self):
+        epoch_set = EpochSet(8)
+        assert epoch_set.count() == 0
+        assert not epoch_set.contains([0, 7]).any()
+
+    def test_add_new_reports_fresh_only(self):
+        epoch_set = EpochSet(8)
+        fresh = epoch_set.add_new(np.array([1, 2, 3]))
+        assert fresh.tolist() == [1, 2, 3]
+        fresh = epoch_set.add_new(np.array([2, 3, 4]))
+        assert fresh.tolist() == [4]
+
+    def test_reset_is_o1_empty(self):
+        epoch_set = EpochSet(8)
+        epoch_set.add([0, 1, 2, 3, 4, 5, 6, 7])
+        epoch_set.reset()
+        assert epoch_set.count() == 0
+        fresh = epoch_set.add_new(np.array([0, 1]))
+        assert fresh.tolist() == [0, 1]
+
+    def test_members_sorted(self):
+        epoch_set = EpochSet(10)
+        epoch_set.add([9, 0, 4])
+        assert epoch_set.members().tolist() == [0, 4, 9]
+
+    def test_many_resets_do_not_alias(self):
+        epoch_set = EpochSet(4)
+        for _ in range(1000):
+            epoch_set.add([2])
+            epoch_set.reset()
+        assert epoch_set.count() == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            EpochSet(0)
+
+
+class TestDoubleBackupBits:
+    def test_everything_initially_dirty_for_both(self):
+        bits = DoubleBackupBits(5)
+        assert bits.dirty_counts() == (5, 5)
+
+    def test_first_checkpoint_writes_everything(self):
+        bits = DoubleBackupBits(5)
+        write_set = bits.begin_checkpoint()
+        assert write_set.tolist() == [0, 1, 2, 3, 4]
+
+    def test_alternation(self):
+        bits = DoubleBackupBits(4)
+        assert bits.current_backup == 0
+        bits.begin_checkpoint()
+        bits.finish_checkpoint()
+        assert bits.current_backup == 1
+        bits.begin_checkpoint()
+        bits.finish_checkpoint()
+        assert bits.current_backup == 0
+
+    def test_update_dirties_both_backups(self):
+        bits = DoubleBackupBits(4)
+        bits.begin_checkpoint()          # clears backup 0's bits
+        bits.finish_checkpoint()
+        bits.begin_checkpoint()          # clears backup 1's bits
+        bits.finish_checkpoint()
+        assert bits.dirty_counts() == (0, 0)
+        bits.mark_updated(np.array([2]))
+        assert bits.dirty_counts() == (1, 1)
+
+    def test_update_during_checkpoint_redirties_current_backup(self):
+        bits = DoubleBackupBits(4)
+        bits.begin_checkpoint()           # backup 0 write set = all, cleared
+        bits.mark_updated(np.array([1]))  # arrives mid-checkpoint
+        bits.finish_checkpoint()
+        # Two checkpoints later we are back on backup 0: object 1 must be in
+        # its write set again (backup 0's image holds the pre-update value).
+        bits.begin_checkpoint()           # backup 1
+        bits.finish_checkpoint()
+        write_set = bits.begin_checkpoint()  # backup 0 again
+        assert 1 in write_set.tolist()
+
+    def test_steady_state_writes_only_dirty(self):
+        bits = DoubleBackupBits(6)
+        for _ in range(2):  # flush both backups completely
+            bits.begin_checkpoint()
+            bits.finish_checkpoint()
+        bits.mark_updated(np.array([0, 5]))
+        write_set = bits.begin_checkpoint()
+        assert write_set.tolist() == [0, 5]
+        bits.finish_checkpoint()

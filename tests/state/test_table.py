@@ -1,0 +1,149 @@
+"""Tests for the game-state table."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import GeometryError
+from repro.state.table import GameStateTable
+
+
+@pytest.fixture
+def geometry():
+    # 100 cells of 4 B in 64 B objects -> 16 cells/object, 7 objects (last
+    # partial: cells 96..99).
+    return StateGeometry(rows=10, columns=10, cell_bytes=4, object_bytes=64)
+
+
+@pytest.fixture
+def table(geometry):
+    return GameStateTable(geometry, dtype=np.uint32)
+
+
+class TestConstruction:
+    def test_rejects_mismatched_dtype(self, geometry):
+        with pytest.raises(GeometryError):
+            GameStateTable(geometry, dtype=np.uint16)
+
+    def test_float32_allowed(self, geometry):
+        table = GameStateTable(geometry, dtype=np.float32)
+        assert table.dtype == np.float32
+
+    def test_starts_zeroed(self, table):
+        assert not table.cells.any()
+
+    def test_views_share_memory(self, table):
+        table.cells[3, 4] = 7
+        assert table.flat[34] == 7
+
+
+class TestUpdates:
+    def test_apply_updates_returns_object_ids(self, table):
+        objects = table.apply_updates(
+            rows=np.array([0, 9]), columns=np.array([0, 9]),
+            values=np.array([1, 2], dtype=np.uint32),
+        )
+        # cell 0 -> object 0; cell 99 -> object 6
+        assert objects.tolist() == [0, 6]
+        assert table.cells[0, 0] == 1
+        assert table.cells[9, 9] == 2
+
+    def test_apply_updates_duplicates_kept(self, table):
+        objects = table.apply_updates(
+            rows=np.array([0, 0]), columns=np.array([0, 1]),
+            values=np.array([5, 6], dtype=np.uint32),
+        )
+        assert objects.tolist() == [0, 0]
+
+    def test_apply_cell_updates(self, table):
+        objects = table.apply_cell_updates(
+            np.array([16, 17]), np.array([9, 9], dtype=np.uint32)
+        )
+        assert objects.tolist() == [1, 1]
+        assert table.flat[16] == 9
+
+    def test_out_of_range_row_rejected(self, table):
+        with pytest.raises(GeometryError):
+            table.apply_updates(np.array([10]), np.array([0]), np.array([1]))
+
+    def test_out_of_range_column_rejected(self, table):
+        with pytest.raises(GeometryError):
+            table.apply_updates(np.array([0]), np.array([10]), np.array([1]))
+
+    def test_out_of_range_cell_rejected(self, table):
+        with pytest.raises(GeometryError):
+            table.apply_cell_updates(np.array([100]), np.array([1]))
+
+
+class TestObjectAccess:
+    def test_read_objects_shape(self, table):
+        payloads = table.read_objects(np.array([0, 6]))
+        assert payloads.shape == (2, 16)
+
+    def test_read_objects_is_copy(self, table):
+        payloads = table.read_objects(np.array([0]))
+        payloads[0, 0] = 42
+        assert table.flat[0] == 0
+
+    def test_write_objects_round_trip(self, table):
+        table.flat[:] = np.arange(100, dtype=np.uint32)
+        saved = table.read_objects(np.array([2, 4]))
+        table.flat[:] = 0
+        table.write_objects(np.array([2, 4]), saved)
+        assert table.flat[32:48].tolist() == list(range(32, 48))
+        assert table.flat[64:80].tolist() == list(range(64, 80))
+        assert table.flat[0] == 0
+
+    def test_object_bytes_round_trip(self, table):
+        table.flat[:] = np.arange(100, dtype=np.uint32)
+        raw = table.object_bytes(np.array([1, 3]))
+        assert len(raw) == 2 * 64
+        table.flat[:] = 0
+        table.load_object_bytes(np.array([1, 3]), raw)
+        assert table.flat[16:32].tolist() == list(range(16, 32))
+
+    def test_padding_cells_round_trip(self, table):
+        # Object 6 holds cells 96..99 plus 12 padding cells; reading and
+        # writing it must not disturb real cells of other objects.
+        table.flat[96:] = 7
+        payload = table.read_objects(np.array([6]))
+        table.flat[96:] = 0
+        table.write_objects(np.array([6]), payload)
+        assert (table.flat[96:] == 7).all()
+
+
+class TestFullImage:
+    def test_full_image_round_trip(self, table):
+        rng = np.random.default_rng(1)
+        table.fill_random(rng)
+        image = table.full_image()
+        assert len(image) == table.geometry.checkpoint_bytes
+        clone = GameStateTable(table.geometry, dtype=table.dtype)
+        clone.load_full_image(image)
+        assert clone.equals(table)
+
+    def test_load_rejects_wrong_size(self, table):
+        with pytest.raises(GeometryError):
+            table.load_full_image(b"\x00" * 4)
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self, table):
+        table.cells[0, 0] = 1
+        clone = table.copy()
+        clone.cells[0, 0] = 2
+        assert table.cells[0, 0] == 1
+        assert not table.equals(clone)
+
+    def test_equals_same_content(self, table):
+        assert table.equals(table.copy())
+
+    def test_equals_rejects_different_dtype(self, geometry):
+        a = GameStateTable(geometry, dtype=np.uint32)
+        b = GameStateTable(geometry, dtype=np.float32)
+        assert not a.equals(b)
+
+    def test_fill_random_float(self, geometry):
+        table = GameStateTable(geometry, dtype=np.float32)
+        table.fill_random(np.random.default_rng(0))
+        assert table.cells.any()

@@ -1,0 +1,85 @@
+"""Tests for the logical action log."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.action_log import ActionLog, TickRecord
+
+
+def rng_state(seed):
+    return np.random.default_rng(seed).bit_generator.state
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(1)))
+            log.append(TickRecord(tick=1, rng_state=rng_state(2), command_payload=b"x"))
+            records = list(log.records())
+        assert [r.tick for r in records] == [0, 1]
+        assert records[1].command_payload == b"x"
+
+    def test_rng_state_usable(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(7)))
+            record = next(log.records())
+        restored = np.random.default_rng()
+        restored.bit_generator.state = record.rng_state
+        expected = np.random.default_rng(7)
+        assert restored.random() == expected.random()
+
+    def test_start_tick_filter(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            for tick in range(5):
+                log.append(TickRecord(tick=tick, rng_state=rng_state(tick)))
+            records = list(log.records(start_tick=3))
+        assert [r.tick for r in records] == [3, 4]
+
+    def test_last_tick(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            assert log.last_tick is None
+            log.append(TickRecord(tick=0, rng_state=rng_state(0)))
+            assert log.last_tick == 0
+
+    def test_non_consecutive_rejected(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(0)))
+            with pytest.raises(StorageError):
+                log.append(TickRecord(tick=2, rng_state=rng_state(0)))
+
+    def test_negative_first_tick_rejected(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            with pytest.raises(StorageError):
+                log.append(TickRecord(tick=-1, rng_state=rng_state(0)))
+
+
+class TestDurability:
+    def test_reopen_continues(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(0)))
+        with ActionLog(tmp_path) as log:
+            assert log.last_tick == 0
+            log.append(TickRecord(tick=1, rng_state=rng_state(1)))
+            assert [r.tick for r in log.records()] == [0, 1]
+
+    def test_torn_tail_dropped(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(0)))
+            log.append(TickRecord(tick=1, rng_state=rng_state(1)))
+            path = log.path
+        with open(path, "r+b") as handle:
+            handle.seek(-7, 2)
+            handle.truncate()
+        with ActionLog(tmp_path) as log:
+            assert [r.tick for r in log.records()] == [0]
+            assert log.last_tick == 0
+            # Appending continues from the surviving prefix.
+            log.append(TickRecord(tick=1, rng_state=rng_state(9)))
+
+    def test_truncate(self, tmp_path):
+        with ActionLog(tmp_path) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(0)))
+            log.truncate()
+            assert log.last_tick is None
+            assert list(log.records()) == []

@@ -1,0 +1,236 @@
+"""Tests for the append-only checkpoint log."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import NoConsistentCheckpointError, StorageError
+from repro.storage.checkpoint_log import CheckpointLogStore
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=8, columns=8, cell_bytes=4, object_bytes=32)
+
+
+@pytest.fixture
+def store(tmp_path, geometry):
+    with CheckpointLogStore(tmp_path, geometry) as opened:
+        yield opened
+
+
+def payload_for(ids, geometry, fill):
+    cells = geometry.cells_per_object
+    data = np.zeros((len(ids), cells), dtype=np.uint32)
+    for slot, object_id in enumerate(ids):
+        data[slot] = fill * 1_000 + object_id
+    return data.tobytes()
+
+
+def image_value(image, geometry, object_id):
+    cells = np.frombuffer(image, dtype=np.uint32)
+    return cells[object_id * geometry.cells_per_object]
+
+
+class TestProtocol:
+    def test_fresh_log_has_no_checkpoint(self, store):
+        with pytest.raises(NoConsistentCheckpointError):
+            store.latest_committed()
+
+    def test_commit_and_restore_full_dump(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(1, is_full_dump=True)
+        store.append_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=12)
+        image, epoch, tick = store.restore_image()
+        assert (epoch, tick) == (1, 12)
+        assert image_value(image, geometry, 5) == 1_005
+
+    def test_partials_overlay_full_dump(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(1, is_full_dump=True)
+        store.append_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=0)
+        store.begin_checkpoint(2, is_full_dump=False)
+        store.append_objects(np.array([3]), payload_for([3], geometry, 2))
+        store.commit_checkpoint(tick=5)
+        image, epoch, tick = store.restore_image()
+        assert (epoch, tick) == (2, 5)
+        assert image_value(image, geometry, 3) == 2_003
+        assert image_value(image, geometry, 4) == 1_004
+
+    def test_uncommitted_tail_ignored(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(1, is_full_dump=True)
+        store.append_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=0)
+        store.begin_checkpoint(2, is_full_dump=False)
+        store.append_objects(np.array([3]), payload_for([3], geometry, 9))
+        # no commit -- crash
+        image, epoch, _ = store.restore_image()
+        assert epoch == 1
+        assert image_value(image, geometry, 3) == 1_003
+
+    def test_multiple_runs_per_checkpoint(self, store, geometry):
+        store.begin_checkpoint(1, is_full_dump=True)
+        store.append_objects(np.array([0, 1]), payload_for([0, 1], geometry, 1))
+        store.append_objects(np.array([2, 3]), payload_for([2, 3], geometry, 1))
+        store.commit_checkpoint(tick=0)
+        image, _, _ = store.restore_image()
+        assert image_value(image, geometry, 2) == 1_002
+
+    def test_lifecycle_errors(self, store):
+        with pytest.raises(StorageError):
+            store.append_objects(np.array([0]), b"\x00" * 32)
+        with pytest.raises(StorageError):
+            store.commit_checkpoint(tick=0)
+        store.begin_checkpoint(1, is_full_dump=False)
+        with pytest.raises(StorageError):
+            store.begin_checkpoint(2, is_full_dump=False)
+        store.abort_checkpoint()
+        with pytest.raises(StorageError):
+            store.abort_checkpoint()
+
+    def test_epoch_must_be_positive(self, store):
+        with pytest.raises(StorageError):
+            store.begin_checkpoint(0, is_full_dump=False)
+
+    def test_payload_size_checked(self, store):
+        store.begin_checkpoint(1, is_full_dump=False)
+        with pytest.raises(StorageError):
+            store.append_objects(np.array([0, 1]), b"\x00" * 32)
+
+    def test_object_range_checked(self, store, geometry):
+        store.begin_checkpoint(1, is_full_dump=False)
+        with pytest.raises(StorageError):
+            store.append_objects(
+                np.array([geometry.num_objects]), b"\x00" * 32
+            )
+
+
+class TestScanCosts:
+    def test_restore_scan_bounded_by_full_dump(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(1, is_full_dump=True)
+        store.append_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=0)
+        size_after_dump = store.size_bytes()
+        scan_all = store.restore_scan_bytes()
+        store.begin_checkpoint(2, is_full_dump=False)
+        store.append_objects(np.array([0]), payload_for([0], geometry, 2))
+        store.commit_checkpoint(tick=1)
+        # The scan reaches back exactly to the full dump's begin record.
+        scan_with_partial = store.restore_scan_bytes()
+        assert scan_with_partial > scan_all
+        assert scan_with_partial <= store.size_bytes()
+        assert size_after_dump < store.size_bytes()
+
+    def test_scan_without_full_dump_reads_everything(self, store, geometry):
+        store.begin_checkpoint(1, is_full_dump=False)
+        store.append_objects(np.array([0]), payload_for([0], geometry, 1))
+        store.commit_checkpoint(tick=0)
+        assert store.restore_scan_bytes() == store.size_bytes()
+
+
+class TestReopen:
+    def test_reopen_and_continue(self, tmp_path, geometry):
+        ids = np.arange(geometry.num_objects)
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            store.begin_checkpoint(1, is_full_dump=True)
+            store.append_objects(ids, payload_for(ids, geometry, 1))
+            store.commit_checkpoint(tick=3)
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            assert store.latest_committed() == (1, 3)
+            store.begin_checkpoint(2, is_full_dump=False)
+            store.append_objects(np.array([1]), payload_for([1], geometry, 2))
+            store.commit_checkpoint(tick=4)
+            image, epoch, _ = store.restore_image()
+            assert epoch == 2
+            assert image_value(image, geometry, 1) == 2_001
+
+    def test_torn_tail_truncated(self, tmp_path, geometry):
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            store.begin_checkpoint(1, is_full_dump=True)
+            ids = np.arange(geometry.num_objects)
+            store.append_objects(ids, payload_for(ids, geometry, 1))
+            store.commit_checkpoint(tick=0)
+            path = store.path
+        # Chop bytes off the end, as a mid-write power loss would.
+        with open(path, "r+b") as handle:
+            handle.seek(-10, 2)
+            handle.truncate()
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            # The commit record was damaged, so no checkpoint is recoverable.
+            with pytest.raises(NoConsistentCheckpointError):
+                store.restore_image()
+
+    def test_wrong_geometry_rejected(self, tmp_path, geometry):
+        with CheckpointLogStore(tmp_path, geometry):
+            pass
+        other = StateGeometry(rows=16, columns=8, cell_bytes=4, object_bytes=32)
+        with pytest.raises(StorageError):
+            CheckpointLogStore(tmp_path, other)
+
+
+class TestCompaction:
+    def _fill(self, store, geometry, epochs_with_dump):
+        ids = np.arange(geometry.num_objects)
+        for epoch, full in epochs_with_dump:
+            store.begin_checkpoint(epoch, is_full_dump=full)
+            if full:
+                store.append_objects(ids, payload_for(ids, geometry, epoch))
+            else:
+                store.append_objects(
+                    np.array([epoch % geometry.num_objects]),
+                    payload_for([epoch % geometry.num_objects], geometry,
+                                epoch),
+                )
+            store.commit_checkpoint(tick=epoch)
+
+    def test_compaction_reclaims_and_preserves_restore(self, store, geometry):
+        self._fill(store, geometry, [(1, True), (2, False), (3, True),
+                                     (4, False)])
+        image_before, epoch_before, tick_before = store.restore_image()
+        reclaimed = store.compact()
+        assert reclaimed > 0
+        image_after, epoch_after, tick_after = store.restore_image()
+        assert image_after == image_before
+        assert (epoch_after, tick_after) == (epoch_before, tick_before)
+
+    def test_compaction_without_full_dump_is_noop(self, store, geometry):
+        store.begin_checkpoint(1, is_full_dump=False)
+        store.append_objects(np.array([0]), payload_for([0], geometry, 1))
+        store.commit_checkpoint(tick=0)
+        assert store.compact() == 0
+
+    def test_compaction_at_start_is_noop(self, store, geometry):
+        self._fill(store, geometry, [(1, True)])
+        # The full dump already sits directly after the geometry record;
+        # nothing precedes it except that record.
+        first = store.compact()
+        second = store.compact()
+        assert second == 0
+        # Restore still works either way.
+        store.restore_image()
+        del first
+
+    def test_compaction_then_append(self, store, geometry):
+        self._fill(store, geometry, [(1, True), (2, False), (3, True)])
+        store.compact()
+        self._fill(store, geometry, [(4, False)])
+        image, epoch, _ = store.restore_image()
+        assert epoch == 4
+
+    def test_compaction_mid_checkpoint_rejected(self, store, geometry):
+        self._fill(store, geometry, [(1, True)])
+        store.begin_checkpoint(2, is_full_dump=False)
+        with pytest.raises(StorageError):
+            store.compact()
+
+    def test_compaction_survives_reopen(self, tmp_path, geometry):
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            self._fill(store, geometry, [(1, True), (2, False), (3, True)])
+            expected = store.restore_image()
+            store.compact()
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            assert store.restore_image() == expected

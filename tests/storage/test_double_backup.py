@@ -1,0 +1,221 @@
+"""Tests for the double-backup checkpoint store."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import NoConsistentCheckpointError, StorageError
+from repro.storage.double_backup import DoubleBackupStore
+from repro.storage.layout import STATE_COMPLETE, STATE_IN_PROGRESS
+
+
+@pytest.fixture
+def geometry():
+    # 64 cells of 4 B in 32 B objects -> 8 objects of 8 cells.
+    return StateGeometry(rows=8, columns=8, cell_bytes=4, object_bytes=32)
+
+
+@pytest.fixture
+def store(tmp_path, geometry):
+    with DoubleBackupStore(tmp_path, geometry) as opened:
+        yield opened
+
+
+def payload_for(ids, geometry, fill):
+    cells = geometry.cells_per_object
+    data = np.zeros((len(ids), cells), dtype=np.uint32)
+    for slot, object_id in enumerate(ids):
+        data[slot] = fill * 1_000 + object_id
+    return data.tobytes()
+
+
+class TestProtocol:
+    def test_fresh_store_has_no_consistent_image(self, store):
+        with pytest.raises(NoConsistentCheckpointError):
+            store.latest_consistent()
+
+    def test_commit_produces_consistent_image(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=42)
+        found = store.latest_consistent()
+        assert found.backup_index == 0
+        assert found.epoch == 1
+        assert found.tick == 42
+
+    def test_alternating_epochs_pick_newest(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        for epoch, backup in ((1, 0), (2, 1), (3, 0)):
+            store.begin_checkpoint(backup, epoch=epoch)
+            store.write_objects(ids, payload_for(ids, geometry, epoch))
+            store.commit_checkpoint(tick=epoch * 10)
+        found = store.latest_consistent()
+        assert (found.backup_index, found.epoch, found.tick) == (0, 3, 30)
+
+    def test_in_progress_backup_ignored(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=5)
+        store.begin_checkpoint(1, epoch=2)  # never committed
+        found = store.latest_consistent()
+        assert found.epoch == 1
+
+    def test_write_outside_checkpoint_rejected(self, store, geometry):
+        with pytest.raises(StorageError):
+            store.write_objects(np.array([0]), b"\x00" * 32)
+
+    def test_double_begin_rejected(self, store):
+        store.begin_checkpoint(0, epoch=1)
+        with pytest.raises(StorageError):
+            store.begin_checkpoint(1, epoch=2)
+
+    def test_commit_without_begin_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.commit_checkpoint(tick=0)
+
+    def test_bad_backup_index_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.begin_checkpoint(2, epoch=1)
+
+    def test_wrong_payload_size_rejected(self, store):
+        store.begin_checkpoint(0, epoch=1)
+        with pytest.raises(StorageError):
+            store.write_objects(np.array([0, 1]), b"\x00" * 32)
+
+    def test_out_of_range_object_rejected(self, store, geometry):
+        store.begin_checkpoint(0, epoch=1)
+        with pytest.raises(StorageError):
+            store.write_objects(
+                np.array([geometry.num_objects]), b"\x00" * 32
+            )
+
+    def test_abort_releases_writer_for_same_backup(self, store, geometry):
+        store.begin_checkpoint(0, epoch=1)
+        store.abort_checkpoint()
+        # The aborted backup is torn, so the retry must target it again --
+        # switching would leave no consistent image anywhere.
+        store.begin_checkpoint(0, epoch=2)
+        store.commit_checkpoint(tick=1)
+        assert store.latest_consistent().epoch == 2
+
+    def test_abort_then_other_backup_rejected(self, store):
+        store.begin_checkpoint(0, epoch=1)
+        store.abort_checkpoint()
+        with pytest.raises(StorageError):
+            store.begin_checkpoint(1, epoch=2)
+
+
+class TestDataIntegrity:
+    def test_objects_land_at_fixed_offsets(self, store, geometry):
+        ids = np.array([3, 1])
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(ids, payload_for(ids, geometry, 7))
+        store.commit_checkpoint(tick=0)
+        raw = store.read_objects(0, np.array([1]))
+        values = np.frombuffer(raw, dtype=np.uint32)
+        assert values[0] == 7_001
+
+    def test_partial_write_preserves_other_objects(self, store, geometry):
+        all_ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(all_ids, payload_for(all_ids, geometry, 1))
+        store.commit_checkpoint(tick=0)
+        # Second checkpoint to the same backup updates only object 2.
+        store.begin_checkpoint(1, epoch=2)
+        store.commit_checkpoint(tick=1)
+        store.begin_checkpoint(0, epoch=3)
+        store.write_objects(np.array([2]), payload_for([2], geometry, 3))
+        store.commit_checkpoint(tick=2)
+        image = np.frombuffer(store.read_image(0), dtype=np.uint32).reshape(
+            geometry.num_objects, geometry.cells_per_object
+        )
+        assert image[2, 0] == 3_002
+        assert image[3, 0] == 1_003  # untouched object keeps epoch-1 value
+
+    def test_read_image_size(self, store, geometry):
+        assert len(store.read_image(0)) == geometry.checkpoint_bytes
+
+    def test_duplicate_ids_last_write_wins(self, store, geometry):
+        ids = np.array([2, 5, 2])  # object 2 submitted twice
+        payload = payload_for([2], geometry, 1) + payload_for(
+            [5], geometry, 1
+        ) + payload_for([2], geometry, 9)
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(ids, payload)
+        store.commit_checkpoint(tick=0)
+        values = np.frombuffer(
+            store.read_objects(0, np.array([2, 5])), dtype=np.uint32
+        ).reshape(2, geometry.cells_per_object)
+        assert values[0, 0] == 9_002  # the later payload
+        assert values[1, 0] == 1_005
+
+    def test_scattered_and_contiguous_runs(self, store, geometry):
+        """Coalesced run writes land every object at its own offset."""
+        ids = np.array([0, 1, 2, 5, 7])  # run of three + two singletons
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(ids, payload_for(ids, geometry, 4))
+        store.commit_checkpoint(tick=0)
+        values = np.frombuffer(
+            store.read_objects(0, ids), dtype=np.uint32
+        ).reshape(ids.size, geometry.cells_per_object)
+        for slot, object_id in enumerate(ids):
+            assert values[slot, 0] == 4_000 + object_id
+        # Untouched neighbours stay zero.
+        gap = np.frombuffer(
+            store.read_objects(0, np.array([3, 4, 6])), dtype=np.uint32
+        )
+        assert not gap.any()
+
+
+class TestReopen:
+    def test_survives_reopen(self, tmp_path, geometry):
+        ids = np.arange(geometry.num_objects)
+        with DoubleBackupStore(tmp_path, geometry) as store:
+            store.begin_checkpoint(0, epoch=1)
+            store.write_objects(ids, payload_for(ids, geometry, 4))
+            store.commit_checkpoint(tick=9)
+        with DoubleBackupStore(tmp_path, geometry) as store:
+            found = store.latest_consistent()
+            assert found.epoch == 1
+            image = np.frombuffer(
+                store.read_image(found.backup_index), dtype=np.uint32
+            )
+            assert image[0] == 4_000
+
+    def test_crash_mid_write_leaves_other_backup_consistent(
+        self, tmp_path, geometry
+    ):
+        ids = np.arange(geometry.num_objects)
+        store = DoubleBackupStore(tmp_path, geometry)
+        store.begin_checkpoint(0, epoch=1)
+        store.write_objects(ids, payload_for(ids, geometry, 1))
+        store.commit_checkpoint(tick=0)
+        # Crash while overwriting backup 1 (begin, some writes, no commit).
+        store.begin_checkpoint(1, epoch=2)
+        store.write_objects(np.array([0]), payload_for([0], geometry, 2))
+        store.close()
+        with DoubleBackupStore(tmp_path, geometry) as reopened:
+            assert reopened.header(1).state == STATE_IN_PROGRESS
+            found = reopened.latest_consistent()
+            assert found.backup_index == 0
+            assert found.epoch == 1
+
+    def test_wrong_geometry_rejected_on_reopen(self, tmp_path, geometry):
+        with DoubleBackupStore(tmp_path, geometry) as store:
+            store.begin_checkpoint(0, epoch=1)
+            store.commit_checkpoint(tick=0)
+        other = StateGeometry(rows=16, columns=8, cell_bytes=4, object_bytes=32)
+        store = DoubleBackupStore(tmp_path, other)
+        with pytest.raises(StorageError):
+            store.latest_consistent()
+        store.close()
+
+    def test_headers_readable(self, store, geometry):
+        store.begin_checkpoint(0, epoch=5)
+        store.commit_checkpoint(tick=77)
+        header = store.header(0)
+        assert header.state == STATE_COMPLETE
+        assert header.epoch == 5
+        assert header.tick == 77

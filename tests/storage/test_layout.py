@@ -1,0 +1,87 @@
+"""Tests for on-disk framing (headers, records, CRCs)."""
+
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import CorruptCheckpointError
+from repro.storage import layout
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=8, columns=8)
+
+
+class TestGeometryStamp:
+    def test_round_trip(self, geometry):
+        packed = layout.pack_geometry(geometry)
+        assert len(packed) == layout.GEOMETRY_BYTES
+        assert layout.unpack_geometry(packed) == geometry
+
+
+class TestBackupHeader:
+    def test_round_trip(self, geometry):
+        header = layout.BackupHeader(
+            state=layout.STATE_COMPLETE, epoch=7, tick=123, geometry=geometry
+        )
+        restored = layout.BackupHeader.unpack(header.pack())
+        assert restored == header
+
+    def test_fixed_size(self, geometry):
+        header = layout.BackupHeader(
+            state=layout.STATE_EMPTY, epoch=0, tick=-1, geometry=geometry
+        )
+        assert len(header.pack()) == layout.BACKUP_HEADER_BYTES
+
+    def test_bad_magic_rejected(self, geometry):
+        packed = bytearray(
+            layout.BackupHeader(
+                state=layout.STATE_EMPTY, epoch=0, tick=-1, geometry=geometry
+            ).pack()
+        )
+        packed[0] = ord(b"X")
+        with pytest.raises(CorruptCheckpointError):
+            layout.BackupHeader.unpack(bytes(packed))
+
+    def test_corrupt_payload_rejected(self, geometry):
+        packed = bytearray(
+            layout.BackupHeader(
+                state=layout.STATE_COMPLETE, epoch=3, tick=9, geometry=geometry
+            ).pack()
+        )
+        packed[10] ^= 0xFF  # flip a bit inside the CRC-protected region
+        with pytest.raises(CorruptCheckpointError):
+            layout.BackupHeader.unpack(bytes(packed))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CorruptCheckpointError):
+            layout.BackupHeader.unpack(b"\x00" * 4)
+
+
+class TestRecords:
+    def test_round_trip(self):
+        payload = b"hello world"
+        record = layout.pack_record(layout.RECORD_OBJECTS, 5, 11, payload)
+        header = record[: layout.RECORD_HEADER_BYTES]
+        record_type, a, b, length, checksum = layout.unpack_record_header(header)
+        assert (record_type, a, b, length) == (layout.RECORD_OBJECTS, 5, 11, 11)
+        body = record[layout.RECORD_HEADER_BYTES:]
+        assert body == payload
+        assert layout.verify_record(header, body, checksum)
+
+    def test_tampered_payload_fails_verification(self):
+        record = layout.pack_record(layout.RECORD_TICK, 1, 0, b"abcdef")
+        header = record[: layout.RECORD_HEADER_BYTES]
+        _, _, _, _, checksum = layout.unpack_record_header(header)
+        assert not layout.verify_record(header, b"abcdeX", checksum)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(CorruptCheckpointError):
+            layout.unpack_record_header(b"X" * layout.RECORD_HEADER_BYTES)
+
+    def test_empty_payload(self):
+        record = layout.pack_record(layout.RECORD_CHECKPOINT_COMMIT, 2, 40, b"")
+        header = record[: layout.RECORD_HEADER_BYTES]
+        record_type, a, b, length, checksum = layout.unpack_record_header(header)
+        assert length == 0
+        assert layout.verify_record(header, b"", checksum)

@@ -1,0 +1,94 @@
+"""Tests for the Section 8 recommendation advisor."""
+
+from dataclasses import replace
+
+from repro.advisor import recommend
+from repro.config import PAPER_CONFIG, PAPER_HARDWARE
+from repro.simulation.simulator import PrecomputedObjectTrace
+from repro.workloads.zipf import ZipfTrace
+
+
+def paper_trace(updates_per_tick, num_ticks=120):
+    return PrecomputedObjectTrace(
+        ZipfTrace(
+            PAPER_CONFIG.geometry,
+            updates_per_tick=updates_per_tick,
+            skew=0.8,
+            num_ticks=num_ticks,
+            seed=0,
+        )
+    )
+
+
+class TestRecommendations:
+    def test_paper_default_workload_selects_copy_on_update(self):
+        """Recommendation 4: "The best method in terms of both latency and
+        recovery time is Copy-on-Update" -- at the default 64k updates/tick
+        the advisor reproduces the paper's verdict."""
+        config = replace(PAPER_CONFIG, warmup_ticks=25)
+        verdict = recommend(paper_trace(64_000), config)
+        assert verdict.best.algorithm_key == "copy-on-update"
+        assert verdict.best.fits_latency_limit
+        assert not verdict.requires_latency_masking
+        assert not verdict.low_confidence
+
+    def test_low_rate_prefers_a_copy_on_update_variant(self):
+        """Per-workload at 1,000 updates/tick the model genuinely favors
+        the log variant (its recovery is *lower* there, Figure 2(c) at
+        1k: ~0.9 s vs ~1.3 s); the paper's blanket recommendation trades
+        that away for robustness across rates."""
+        config = replace(PAPER_CONFIG, warmup_ticks=25)
+        verdict = recommend(paper_trace(1_000), config)
+        assert verdict.best.algorithm_key in (
+            "copy-on-update", "cou-partial-redo"
+        )
+        assert verdict.best.fits_latency_limit
+
+    def test_eager_methods_never_win_at_64k(self):
+        config = replace(PAPER_CONFIG, warmup_ticks=25)
+        verdict = recommend(paper_trace(64_000), config)
+        assert verdict.best.algorithm_key not in (
+            "naive-snapshot", "atomic-copy", "partial-redo"
+        )
+        # And the partial-redo pair loses on recovery at this rate.
+        ranks = {a.algorithm_key: a.rank for a in verdict.ranking}
+        assert ranks["partial-redo"] > ranks["copy-on-update"]
+        assert ranks["cou-partial-redo"] > ranks["copy-on-update"]
+
+    def test_extreme_regime_flags_latency_masking(self):
+        """At 240 Hz the half-tick limit is ~2 ms: nothing fits, and the
+        advisor says so (recommendation 2's regime)."""
+        hardware = PAPER_HARDWARE.with_tick_frequency(240.0)
+        config = replace(PAPER_CONFIG, hardware=hardware, warmup_ticks=25)
+        # Long enough for >= 2 checkpoints after warmup at 240 Hz (a
+        # checkpoint spans ~160 ticks there).
+        verdict = recommend(paper_trace(64_000, num_ticks=400), config)
+        assert verdict.requires_latency_masking
+        assert not verdict.best.fits_latency_limit
+        assert "masking" in verdict.best.rationale
+
+    def test_short_trace_flags_low_confidence(self):
+        hardware = PAPER_HARDWARE.with_tick_frequency(240.0)
+        config = replace(PAPER_CONFIG, hardware=hardware, warmup_ticks=25)
+        verdict = recommend(paper_trace(64_000, num_ticks=80), config)
+        assert verdict.low_confidence
+        assert "extend the trace" in verdict.describe()
+
+    def test_ranking_is_complete_and_ordered(self):
+        config = replace(PAPER_CONFIG, warmup_ticks=25)
+        verdict = recommend(paper_trace(8_000), config)
+        assert len(verdict.ranking) == 6
+        assert [a.rank for a in verdict.ranking] == [1, 2, 3, 4, 5, 6]
+        fitters = [a for a in verdict.ranking if a.fits_latency_limit]
+        violators = [a for a in verdict.ranking if not a.fits_latency_limit]
+        if fitters and violators:
+            assert max(a.rank for a in fitters) < min(
+                a.rank for a in violators
+            )
+
+    def test_describe_mentions_best(self):
+        config = replace(PAPER_CONFIG, warmup_ticks=25)
+        verdict = recommend(paper_trace(64_000), config)
+        text = verdict.describe()
+        assert "recommended: Copy-on-Update" in text
+        assert "1." in text and "6." in text

@@ -1,0 +1,66 @@
+"""Tests for the byte/time unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstructors:
+    def test_megabytes_are_decimal(self):
+        assert units.megabytes(60) == 60_000_000
+
+    def test_gigabytes_are_decimal(self):
+        assert units.gigabytes(2.2) == pytest.approx(2.2e9)
+
+    def test_nanoseconds(self):
+        assert units.nanoseconds(145) == pytest.approx(145e-9)
+
+    def test_milliseconds(self):
+        assert units.milliseconds(33.3) == pytest.approx(0.0333)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert units.format_bytes(2_048) == "2.05 KB"
+
+    def test_megabytes(self):
+        assert units.format_bytes(40_000_000) == "40.00 MB"
+
+    def test_gigabytes(self):
+        assert units.format_bytes(2.2e9) == "2.20 GB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert units.format_duration(1.4) == "1.400 s"
+
+    def test_milliseconds(self):
+        assert units.format_duration(0.017) == "17.000 ms"
+
+    def test_microseconds(self):
+        assert units.format_duration(250e-6) == "250.000 us"
+
+    def test_nanoseconds(self):
+        assert units.format_duration(145e-9) == "145.0 ns"
+
+    def test_zero(self):
+        assert units.format_duration(0.0) == "0.0 ns"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_duration(-0.5)
+
+
+class TestFormatRate:
+    def test_disk_bandwidth(self):
+        assert units.format_rate(60e6) == "60.00 MB/s"
+
+    def test_memory_bandwidth(self):
+        assert units.format_rate(2.2e9) == "2.20 GB/s"

@@ -1,0 +1,62 @@
+"""Tests for the sim-vs-real validation harness."""
+
+from repro.config import HardwareParameters, StateGeometry
+from repro.validation.harness import (
+    VALIDATED_ALGORITHMS,
+    run_validation_point,
+    run_validation_sweep,
+)
+
+TEST_GEOMETRY = StateGeometry(rows=4_096, columns=8)
+
+#: Deterministic stand-in for host measurement (keeps tests fast and stable).
+FIXED_HARDWARE = HardwareParameters(
+    memory_bandwidth=8e9,
+    memory_latency=200e-9,
+    lock_overhead=100e-9,
+    bit_test_overhead=5e-9,
+    disk_bandwidth=200e6,
+)
+
+
+class TestValidationPoint:
+    def test_point_produces_both_algorithms(self, tmp_path):
+        comparisons = run_validation_point(
+            updates_per_tick=300,
+            hardware=FIXED_HARDWARE,
+            geometry=TEST_GEOMETRY,
+            num_ticks=20,
+            directory=tmp_path,
+        )
+        assert [c.algorithm_key for c in comparisons] == list(
+            VALIDATED_ALGORITHMS
+        )
+        for comparison in comparisons:
+            assert comparison.simulated_checkpoint > 0
+            assert comparison.measured_checkpoint > 0
+            assert comparison.simulated_recovery > 0
+            assert comparison.measured_recovery > 0
+
+    def test_overhead_ratio(self, tmp_path):
+        comparisons = run_validation_point(
+            updates_per_tick=300,
+            hardware=FIXED_HARDWARE,
+            geometry=TEST_GEOMETRY,
+            num_ticks=20,
+            directory=tmp_path,
+        )
+        cou = next(c for c in comparisons if c.algorithm_key == "copy-on-update")
+        assert cou.overhead_ratio() > 0
+
+
+class TestValidationSweep:
+    def test_sweep_covers_all_points(self):
+        comparisons = run_validation_sweep(
+            updates_per_tick_values=(100, 500),
+            geometry=TEST_GEOMETRY,
+            num_ticks=15,
+            hardware=FIXED_HARDWARE,
+        )
+        assert len(comparisons) == 2 * len(VALIDATED_ALGORITHMS)
+        rates = sorted({c.updates_per_tick for c in comparisons})
+        assert rates == [100, 500]

@@ -1,0 +1,40 @@
+"""Tests for the host micro-benchmarks (sanity ranges, not exact values)."""
+
+from repro.validation import microbench
+
+
+class TestMicrobenchmarks:
+    def test_memory_bandwidth_plausible(self):
+        bandwidth = microbench.measure_memory_bandwidth(
+            buffer_bytes=2 * 1024 * 1024, repeats=2
+        )
+        # Anything from an SD card to an exotic HBM part.
+        assert 1e8 < bandwidth < 1e13
+
+    def test_memory_latency_non_negative(self):
+        latency = microbench.measure_memory_latency(samples=512, repeats=2)
+        assert 0.0 <= latency < 1e-3
+
+    def test_lock_overhead_plausible(self):
+        overhead = microbench.measure_lock_overhead(iterations=2_000, repeats=2)
+        assert 1e-9 < overhead < 1e-4
+
+    def test_bit_test_overhead_plausible(self):
+        overhead = microbench.measure_bit_test_overhead(samples=8_192, repeats=2)
+        assert 0.0 < overhead < 1e-5
+
+    def test_disk_bandwidth_plausible(self, tmp_path):
+        bandwidth = microbench.measure_disk_bandwidth(
+            directory=tmp_path, file_bytes=2 * 1024 * 1024, repeats=1
+        )
+        assert 1e5 < bandwidth < 1e12
+
+    def test_measure_host_parameters_quick(self, tmp_path):
+        hardware = microbench.measure_host_parameters(
+            quick=True, disk_directory=tmp_path
+        )
+        assert hardware.tick_frequency_hz == 30.0
+        assert hardware.memory_bandwidth > 0
+        assert hardware.disk_bandwidth > 0
+        # Valid enough to drive the simulator (constructor validated it).
+        assert hardware.latency_limit > 0

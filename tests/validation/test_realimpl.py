@@ -1,0 +1,117 @@
+"""Tests for the real threaded implementation of NS and COU."""
+
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import ValidationError
+from repro.storage.double_backup import DoubleBackupStore
+from repro.validation.realimpl import RealCheckpointServer
+
+#: Tiny geometry so each test runs in well under a second.
+TEST_GEOMETRY = StateGeometry(rows=4_096, columns=8)
+
+
+class TestConstruction:
+    def test_unsupported_algorithm_rejected(self):
+        with pytest.raises(ValidationError):
+            RealCheckpointServer("partial-redo")
+
+    def test_context_manager_cleans_up(self, tmp_path):
+        with RealCheckpointServer(
+            "naive-snapshot", geometry=TEST_GEOMETRY, directory=tmp_path
+        ) as server:
+            server.run(updates_per_tick=100, num_ticks=5)
+        # Directory was caller-provided, so files stay for inspection.
+        assert (tmp_path / "backup0.db").exists()
+
+
+@pytest.mark.parametrize("algorithm", ["naive-snapshot", "copy-on-update"])
+class TestRuns:
+    def test_run_produces_measurements(self, algorithm, tmp_path):
+        with RealCheckpointServer(
+            algorithm, geometry=TEST_GEOMETRY, directory=tmp_path
+        ) as server:
+            result = server.run(updates_per_tick=500, num_ticks=30)
+        assert result.ticks == 30
+        assert result.tick_overhead.shape == (30,)
+        assert (result.tick_overhead >= 0).all()
+        assert result.checkpoint_durations, "no checkpoint completed"
+        assert result.avg_checkpoint_time > 0
+        assert result.restore_seconds > 0
+        assert result.recovery_time >= result.restore_seconds
+
+    def test_checkpoint_on_disk_is_consistent(self, algorithm, tmp_path):
+        with RealCheckpointServer(
+            algorithm, geometry=TEST_GEOMETRY, directory=tmp_path
+        ) as server:
+            server.run(updates_per_tick=500, num_ticks=30)
+        with DoubleBackupStore(tmp_path, TEST_GEOMETRY) as store:
+            found = store.latest_consistent()
+            image = store.read_image(found.backup_index)
+            assert len(image) == TEST_GEOMETRY.checkpoint_bytes
+
+    def test_summary_keys(self, algorithm, tmp_path):
+        with RealCheckpointServer(
+            algorithm, geometry=TEST_GEOMETRY, directory=tmp_path
+        ) as server:
+            result = server.run(updates_per_tick=200, num_ticks=10)
+        summary = result.summary()
+        for key in ("algorithm", "avg_overhead_s", "avg_checkpoint_s",
+                    "recovery_s", "checkpoints_completed"):
+            assert key in summary
+
+
+class TestCutConsistency:
+    """The threaded writer must emit exactly the cut state despite racing
+    the mutator -- the core claim of the Section 3 COW protocol."""
+
+    @pytest.mark.parametrize("algorithm", ["naive-snapshot", "copy-on-update"])
+    def test_disk_image_matches_cut(self, algorithm, tmp_path):
+        with RealCheckpointServer(
+            algorithm,
+            geometry=TEST_GEOMETRY,
+            directory=tmp_path,
+            verify_consistency=True,
+            num_stripes=4,          # coarse stripes stress lock contention
+            writer_chunk_objects=16,  # many small writer rounds
+        ) as server:
+            server.run(updates_per_tick=3_000, num_ticks=40)
+            assert server.verify_last_checkpoint()
+
+    def test_verify_requires_flag(self, tmp_path):
+        with RealCheckpointServer(
+            "copy-on-update", geometry=TEST_GEOMETRY, directory=tmp_path
+        ) as server:
+            server.run(updates_per_tick=100, num_ticks=5)
+            from repro.errors import ValidationError
+
+            with pytest.raises(ValidationError):
+                server.verify_last_checkpoint()
+
+
+class TestCopyOnUpdateSemantics:
+    def test_cou_overhead_scales_with_updates(self, tmp_path):
+        small_dir = tmp_path / "small"
+        large_dir = tmp_path / "large"
+        with RealCheckpointServer(
+            "copy-on-update", geometry=TEST_GEOMETRY, directory=small_dir
+        ) as server:
+            small = server.run(updates_per_tick=50, num_ticks=25)
+        with RealCheckpointServer(
+            "copy-on-update", geometry=TEST_GEOMETRY, directory=large_dir
+        ) as server:
+            large = server.run(updates_per_tick=5_000, num_ticks=25)
+        assert large.avg_overhead > small.avg_overhead
+
+    def test_tick_period_respected(self, tmp_path):
+        import time
+
+        period = 0.005
+        with RealCheckpointServer(
+            "naive-snapshot", geometry=TEST_GEOMETRY, directory=tmp_path,
+            tick_period=period, query_reads=0,
+        ) as server:
+            started = time.perf_counter()
+            server.run(updates_per_tick=10, num_ticks=20)
+            elapsed = time.perf_counter() - started
+        assert elapsed >= 20 * period * 0.9

@@ -1,0 +1,88 @@
+"""Tests for the trace protocol and materialized traces."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads.base import MaterializedTrace
+from repro.workloads.uniform import UniformTrace
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=100, columns=10)
+
+
+class TestMaterializedTrace:
+    def test_round_trip(self, geometry):
+        ticks = [np.array([0, 5, 5]), np.array([999]), np.array([], dtype=np.int64)]
+        trace = MaterializedTrace(geometry, ticks)
+        assert trace.num_ticks == 3
+        assert len(trace) == 3
+        out = list(trace)
+        assert out[0].tolist() == [0, 5, 5]
+        assert out[1].tolist() == [999]
+        assert out[2].size == 0
+
+    def test_total_updates(self, geometry):
+        trace = MaterializedTrace(geometry, [np.array([1, 2]), np.array([3])])
+        assert trace.total_updates() == 3
+
+    def test_tick_random_access(self, geometry):
+        trace = MaterializedTrace(geometry, [np.array([7]), np.array([8])])
+        assert trace.tick(1).tolist() == [8]
+
+    def test_slice(self, geometry):
+        trace = MaterializedTrace(
+            geometry, [np.array([i]) for i in range(5)]
+        )
+        sub = trace.slice(1, 4)
+        assert sub.num_ticks == 3
+        assert sub.tick(0).tolist() == [1]
+
+    def test_slice_bounds(self, geometry):
+        trace = MaterializedTrace(geometry, [np.array([1])])
+        with pytest.raises(TraceError):
+            trace.slice(0, 2)
+        with pytest.raises(TraceError):
+            trace.slice(-1, 1)
+
+    def test_rejects_out_of_range_cells(self, geometry):
+        with pytest.raises(TraceError):
+            MaterializedTrace(geometry, [np.array([geometry.num_cells])])
+        with pytest.raises(TraceError):
+            MaterializedTrace(geometry, [np.array([-1])])
+
+    def test_rejects_2d_updates(self, geometry):
+        with pytest.raises(TraceError):
+            MaterializedTrace(geometry, [np.zeros((2, 2), dtype=np.int64)])
+
+    def test_materialize_is_identity(self, geometry):
+        trace = MaterializedTrace(geometry, [np.array([1])])
+        assert trace.materialize() is trace
+
+
+class TestUniformTrace:
+    def test_shape(self, geometry):
+        trace = UniformTrace(geometry, updates_per_tick=20, num_ticks=4)
+        ticks = list(trace)
+        assert len(ticks) == 4
+        assert all(t.size == 20 for t in ticks)
+
+    def test_covers_full_range_eventually(self, geometry):
+        trace = UniformTrace(geometry, updates_per_tick=5_000, num_ticks=1)
+        cells = next(iter(trace))
+        assert cells.min() < 50
+        assert cells.max() > geometry.num_cells - 50
+
+    def test_deterministic(self, geometry):
+        trace = UniformTrace(geometry, 10, num_ticks=2, seed=3)
+        first = [c.copy() for c in trace]
+        second = list(trace)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_rejects_negative(self, geometry):
+        with pytest.raises(TraceError):
+            UniformTrace(geometry, updates_per_tick=-5)

@@ -1,0 +1,92 @@
+"""Tests for the statistical game-trace model."""
+
+import numpy as np
+import pytest
+
+from repro.config import GAME_GEOMETRY, StateGeometry
+from repro.errors import TraceError
+from repro.workloads.gamelike import (
+    COLUMN_HEALTH,
+    COLUMN_STATE,
+    COLUMN_X,
+    COLUMN_Y,
+    GameLikeTrace,
+)
+
+
+@pytest.fixture
+def small_trace():
+    geometry = StateGeometry(rows=10_000, columns=13)
+    return GameLikeTrace(geometry, num_ticks=150, seed=7)
+
+
+class TestStatistics:
+    def test_paper_scale_update_rate(self):
+        """Full-scale model averages ~35,590 updates/tick (Table 5)."""
+        trace = GameLikeTrace(num_ticks=60, seed=0)
+        sizes = [cells.size for cells in trace.ticks()]
+        average = float(np.mean(sizes))
+        assert average == pytest.approx(35_590, rel=0.05)
+
+    def test_expected_updates_property_matches(self):
+        trace = GameLikeTrace(num_ticks=1)
+        assert trace.expected_updates_per_tick == pytest.approx(35_590, rel=0.05)
+
+    def test_only_active_fraction_touched_per_tick(self, small_trace):
+        geometry = small_trace.geometry
+        for cells in small_trace.ticks():
+            rows = np.unique(cells // geometry.columns)
+            # At most ~active_fraction of rows plus churn partners.
+            assert rows.size <= 0.15 * geometry.rows
+            break
+
+    def test_positions_dominate(self, small_trace):
+        geometry = small_trace.geometry
+        counts = np.zeros(geometry.columns, dtype=np.int64)
+        for cells in small_trace.ticks():
+            counts += np.bincount(
+                cells % geometry.columns, minlength=geometry.columns
+            )
+        position_share = (counts[COLUMN_X] + counts[COLUMN_Y]) / counts.sum()
+        assert position_share > 0.6
+        assert counts[COLUMN_HEALTH] < counts[COLUMN_X]
+
+    def test_active_set_renews(self):
+        """Most of the population is eventually touched ("completely renewed
+        every 100 ticks with high probability")."""
+        geometry = StateGeometry(rows=5_000, columns=13)
+        trace = GameLikeTrace(geometry, num_ticks=200, seed=1)
+        seen_rows = np.zeros(geometry.rows, dtype=bool)
+        for cells in trace.ticks():
+            seen_rows[cells // geometry.columns] = True
+        assert seen_rows.mean() > 0.5
+
+    def test_churn_touches_state_column(self, small_trace):
+        geometry = small_trace.geometry
+        state_updates = 0
+        for cells in small_trace.ticks():
+            state_updates += int((cells % geometry.columns == COLUMN_STATE).sum())
+        assert state_updates > 0
+
+
+class TestDeterminism:
+    def test_replay_identical(self):
+        geometry = StateGeometry(rows=3_000, columns=13)
+        trace = GameLikeTrace(geometry, num_ticks=20, seed=5)
+        first = [cells.copy() for cells in trace.ticks()]
+        second = list(trace.ticks())
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_rejects_too_few_columns(self):
+        with pytest.raises(TraceError):
+            GameLikeTrace(StateGeometry(rows=100, columns=3))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(TraceError):
+            GameLikeTrace(GAME_GEOMETRY, active_fraction=1.5)
+        with pytest.raises(TraceError):
+            GameLikeTrace(GAME_GEOMETRY, move_probability=-0.1)

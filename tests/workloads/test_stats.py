@@ -1,0 +1,69 @@
+"""Tests for trace characterization (Table 5 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.workloads.base import MaterializedTrace
+from repro.workloads.stats import TraceStatistics
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=10, columns=4, cell_bytes=4, object_bytes=16)
+
+
+def make_trace(geometry, ticks):
+    return MaterializedTrace(geometry, [np.asarray(t, dtype=np.int64) for t in ticks])
+
+
+class TestFromTrace:
+    def test_counts(self, geometry):
+        trace = make_trace(geometry, [[0, 1, 1], [39], []])
+        stats = TraceStatistics.from_trace(trace)
+        assert stats.num_ticks == 3
+        assert stats.total_updates == 4
+        assert stats.avg_updates_per_tick == pytest.approx(4 / 3)
+        assert stats.max_updates_per_tick == 3
+        assert stats.min_updates_per_tick == 0
+
+    def test_unique_cells_and_rows(self, geometry):
+        # cells 0,1 are row 0; cell 39 is row 9.
+        trace = make_trace(geometry, [[0, 1, 1], [39]])
+        stats = TraceStatistics.from_trace(trace)
+        assert stats.unique_cells == 3
+        assert stats.unique_rows == 2
+
+    def test_column_counts(self, geometry):
+        # columns: 0 % 4 = 0, 1 % 4 = 1, 39 % 4 = 3.
+        trace = make_trace(geometry, [[0, 1, 1, 39]])
+        stats = TraceStatistics.from_trace(trace)
+        assert stats.column_update_counts == (1, 2, 0, 1)
+
+    def test_unique_objects_per_tick(self, geometry):
+        # 16 B objects of 4 B cells -> 4 cells/object.
+        trace = make_trace(geometry, [[0, 1, 2, 3], [0, 4]])
+        stats = TraceStatistics.from_trace(trace)
+        # tick 0 touches only object 0; tick 1 touches objects 0 and 1.
+        assert stats.avg_unique_objects_per_tick == pytest.approx(1.5)
+
+    def test_empty_trace(self, geometry):
+        stats = TraceStatistics.from_trace(make_trace(geometry, []))
+        assert stats.num_ticks == 0
+        assert stats.total_updates == 0
+        assert stats.avg_updates_per_tick == 0.0
+
+
+class TestRendering:
+    def test_table5_rows_present(self, geometry):
+        stats = TraceStatistics.from_trace(make_trace(geometry, [[0]]))
+        text = stats.render_table5()
+        assert "number of units" in text
+        assert "10" in text
+        assert "avg. number of updates per tick" in text
+
+    def test_describe_includes_extras(self, geometry):
+        stats = TraceStatistics.from_trace(make_trace(geometry, [[0, 1]]))
+        text = stats.describe()
+        assert "unique rows touched" in text
+        assert "updates by column" in text

@@ -1,0 +1,81 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads.base import MaterializedTrace
+from repro.workloads.trace_file import load_trace, save_trace
+from repro.workloads.uniform import UniformTrace
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=50, columns=4)
+
+
+class TestRoundTrip:
+    def test_materialized_round_trip(self, geometry, tmp_path):
+        ticks = [
+            np.array([0, 0, 7]),
+            np.array([], dtype=np.int64),
+            np.array([199, 3]),
+        ]
+        trace = MaterializedTrace(geometry, ticks)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.geometry == geometry
+        assert loaded.num_ticks == 3
+        for original, restored in zip(trace.ticks(), loaded.ticks()):
+            assert np.array_equal(original, restored)
+
+    def test_generated_trace_round_trip(self, geometry, tmp_path):
+        trace = UniformTrace(geometry, updates_per_tick=9, num_ticks=5, seed=2)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for original, restored in zip(trace.ticks(), loaded.ticks()):
+            assert np.array_equal(original, restored)
+
+    def test_empty_trace(self, geometry, tmp_path):
+        trace = MaterializedTrace(geometry, [])
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_ticks == 0
+
+    def test_update_order_and_duplicates_preserved(self, geometry, tmp_path):
+        ticks = [np.array([5, 3, 5, 5, 1])]
+        path = tmp_path / "trace.npz"
+        save_trace(MaterializedTrace(geometry, ticks), path)
+        assert load_trace(path).tick(0).tolist() == [5, 3, 5, 5, 1]
+
+
+class TestErrorHandling:
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, hello=np.array([1]))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, geometry, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(MaterializedTrace(geometry, [np.array([1])]), path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        data["version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_inconsistent_offsets_rejected(self, geometry, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(MaterializedTrace(geometry, [np.array([1, 2])]), path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        data["offsets"] = np.array([0, 5], dtype=np.int64)  # claims 5 updates
+        np.savez(path, **data)
+        with pytest.raises(TraceError):
+            load_trace(path)
