@@ -1,0 +1,65 @@
+"""Benchmark the sweep engine's trace cache: cold vs warm Figure 2 runs.
+
+The first benchmark runs the Figure 2 sweep against an empty cache directory
+(every trace generated and stored); the second reruns the identical sweep so
+every trace loads from disk.  The warm run must be strictly faster and
+produce bit-identical results, and the report records both wall times and
+the speedup.
+"""
+
+import json
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig2
+from repro.simulation.sweep import SweepEngine
+from repro.workloads.cache import TraceCache
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("trace-cache")
+
+
+@pytest.fixture(scope="module")
+def shared(cache_dir):
+    return {}
+
+
+def _sweep(bench_scale, cache_dir, jobs=1):
+    engine = SweepEngine(jobs=jobs, cache=TraceCache(directory=cache_dir))
+    result = fig2.run(bench_scale, engine=engine)
+    return result
+
+
+def test_sweep_cold_cache(benchmark, bench_scale, cache_dir, shared):
+    """Figure 2 sweep with an empty trace cache (generate + store)."""
+    result = run_once(benchmark, _sweep, bench_scale, cache_dir)
+    shared["cold"] = result
+    perf = result.perf
+    assert perf["cache_hits"] == 0
+    assert perf["cache_misses"] == len(bench_scale.updates_sweep)
+
+
+def test_sweep_warm_cache(benchmark, bench_scale, cache_dir, shared,
+                          report_sink):
+    """Identical sweep against the now-populated cache (load only)."""
+    result = run_once(benchmark, _sweep, bench_scale, cache_dir)
+    cold = shared["cold"]
+    perf = result.perf
+    assert perf["cache_misses"] == 0
+    assert perf["cache_hits"] == len(bench_scale.updates_sweep)
+    # Bit-identical reports, strictly less trace work.
+    assert result.raw == cold.raw
+    assert perf["wall_time_s"] < cold.perf["wall_time_s"]
+    record = {
+        "scale": bench_scale.name,
+        "cold": cold.perf,
+        "warm": perf,
+        "speedup": cold.perf["wall_time_s"] / perf["wall_time_s"],
+    }
+    report_sink(
+        "sweep_cache",
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+    )

@@ -46,13 +46,18 @@ from repro.errors import ReproError
 from repro.simulation import (
     CheckpointSimulator,
     CostModel,
+    PrecomputedObjectTrace,
     RecoveryEstimate,
     SimulationResult,
+    SweepEngine,
+    SweepTask,
 )
 from repro.state import GameStateTable
 from repro.workloads import (
     GameLikeTrace,
     MaterializedTrace,
+    TraceCache,
+    TraceSpec,
     TraceStatistics,
     UniformTrace,
     UpdateTrace,
@@ -83,12 +88,17 @@ __all__ = [
     "PAPER_CONFIG",
     "PAPER_GEOMETRY",
     "PAPER_HARDWARE",
+    "PrecomputedObjectTrace",
     "RecoveryEstimate",
     "ReproError",
     "SMALL_GEOMETRY",
     "SimulationConfig",
     "SimulationResult",
     "StateGeometry",
+    "SweepEngine",
+    "SweepTask",
+    "TraceCache",
+    "TraceSpec",
     "TraceStatistics",
     "UniformTrace",
     "UpdateEffects",

@@ -15,7 +15,7 @@ These experiments sweep them:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.tables import TextTable
 from repro.config import (
@@ -32,30 +32,50 @@ from repro.experiments.common import (
     FULL_SCALE,
     format_seconds,
 )
-from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.simulation.sweep import SweepEngine, SweepTask
 from repro.units import format_rate, megabytes
-from repro.workloads.zipf import ZipfTrace
+from repro.workloads.spec import TraceSpec
 
 
-def _run_point(config: SimulationConfig, algorithms, num_ticks: int, seed: int,
-               updates_per_tick: int = DEFAULT_UPDATES_PER_TICK):
-    simulator = CheckpointSimulator(config)
-    trace = PrecomputedObjectTrace(
-        ZipfTrace(
-            config.geometry,
-            updates_per_tick=updates_per_tick,
-            skew=DEFAULT_SKEW,
-            num_ticks=num_ticks,
-            seed=seed,
+def _run_grid(
+    engine: Optional[SweepEngine],
+    keyed_configs: Sequence,
+    algorithms,
+    num_ticks: int,
+    seed: int,
+    updates_per_tick: int = DEFAULT_UPDATES_PER_TICK,
+):
+    """Run ``algorithms`` at every ``(key, config)`` point of an ablation.
+
+    Points that share a geometry share a trace spec (only the config
+    differs), so the sweep engine generates -- or cache-loads -- their Zipf
+    trace exactly once.  Returns ``(key -> results, engine)``.
+    """
+    engine = engine if engine is not None else SweepEngine(jobs=1)
+    tasks = [
+        SweepTask(
+            key=key,
+            config=config,
+            spec=TraceSpec.create(
+                "zipf",
+                config.geometry,
+                updates_per_tick=updates_per_tick,
+                skew=DEFAULT_SKEW,
+                num_ticks=num_ticks,
+                seed=seed,
+            ),
+            algorithms=tuple(algorithms),
         )
-    )
-    return [simulator.run(key, trace) for key in algorithms]
+        for key, config in keyed_configs
+    ]
+    return engine.run(tasks), engine
 
 
 def run_object_size(
     scale: ExperimentScale = FULL_SCALE,
     object_sizes: Sequence[int] = (128, 512, 2_048, 8_192),
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """Sensitivity to the atomic-object size ``Sobj``."""
     algorithms = ("naive-snapshot", "copy-on-update")
@@ -64,7 +84,7 @@ def run_object_size(
         ["Sobj [B]", "algorithm", "avg overhead", "time to checkpoint",
          "recovery"],
     )
-    raw = {}
+    keyed_configs = []
     for object_bytes in object_sizes:
         geometry = StateGeometry(
             rows=PAPER_CONFIG.geometry.rows,
@@ -75,7 +95,13 @@ def run_object_size(
         config = replace(
             PAPER_CONFIG, geometry=geometry, warmup_ticks=scale.warmup_ticks
         )
-        for result in _run_point(config, algorithms, scale.num_ticks, seed):
+        keyed_configs.append((object_bytes, config))
+    grid, engine = _run_grid(
+        engine, keyed_configs, algorithms, scale.num_ticks, seed
+    )
+    raw = {}
+    for object_bytes, results in grid.items():
+        for result in results:
             table.add_row(
                 [
                     object_bytes,
@@ -95,6 +121,7 @@ def run_object_size(
         description="Atomic-object size sensitivity",
         tables=[table],
         raw={f"{size}:{key}": value for (size, key), value in raw.items()},
+        perf=engine.stats.as_dict(),
     )
 
 
@@ -102,6 +129,7 @@ def run_full_dump_period(
     scale: ExperimentScale = FULL_SCALE,
     periods: Sequence[int] = (2, 5, 9, 20, 50),
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """The log methods' full-dump period C: checkpoint vs recovery trade."""
     algorithms = ("partial-redo", "cou-partial-redo")
@@ -109,14 +137,23 @@ def run_full_dump_period(
         "Ablation: full-dump period C (64,000 updates/tick, skew 0.8)",
         ["C", "algorithm", "avg time to checkpoint", "recovery"],
     )
-    raw = {}
-    for period in periods:
-        config = replace(
-            PAPER_CONFIG,
-            full_dump_period=period,
-            warmup_ticks=scale.warmup_ticks,
+    keyed_configs = [
+        (
+            period,
+            replace(
+                PAPER_CONFIG,
+                full_dump_period=period,
+                warmup_ticks=scale.warmup_ticks,
+            ),
         )
-        for result in _run_point(config, algorithms, scale.num_ticks, seed):
+        for period in periods
+    ]
+    grid, engine = _run_grid(
+        engine, keyed_configs, algorithms, scale.num_ticks, seed
+    )
+    raw = {}
+    for period, results in grid.items():
+        for result in results:
             table.add_row(
                 [
                     period,
@@ -135,6 +172,7 @@ def run_full_dump_period(
         description="Partial-redo full-dump period",
         tables=[table],
         raw=raw,
+        perf=engine.stats.as_dict(),
     )
 
 
@@ -142,6 +180,7 @@ def run_disk_bandwidth(
     scale: ExperimentScale = FULL_SCALE,
     bandwidths_mb: Sequence[float] = (30, 60, 120, 480, 3_000),
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """Disk bandwidth sweep: 2009 disks through RAM-SSDs."""
     algorithms = ("naive-snapshot", "copy-on-update", "cou-partial-redo")
@@ -149,18 +188,28 @@ def run_disk_bandwidth(
         "Ablation: disk bandwidth (64,000 updates/tick, skew 0.8)",
         ["Bdisk", "algorithm", "time to checkpoint", "recovery"],
     )
+    keyed_configs = [
+        (
+            bandwidth_mb,
+            replace(
+                PAPER_CONFIG,
+                hardware=replace(
+                    PAPER_HARDWARE, disk_bandwidth=megabytes(bandwidth_mb)
+                ),
+                warmup_ticks=scale.warmup_ticks,
+            ),
+        )
+        for bandwidth_mb in bandwidths_mb
+    ]
+    grid, engine = _run_grid(
+        engine, keyed_configs, algorithms, scale.num_ticks, seed
+    )
     raw = {}
-    for bandwidth_mb in bandwidths_mb:
-        hardware = replace(
-            PAPER_HARDWARE, disk_bandwidth=megabytes(bandwidth_mb)
-        )
-        config = replace(
-            PAPER_CONFIG, hardware=hardware, warmup_ticks=scale.warmup_ticks
-        )
-        for result in _run_point(config, algorithms, scale.num_ticks, seed):
+    for bandwidth_mb, results in grid.items():
+        for result in results:
             table.add_row(
                 [
-                    format_rate(hardware.disk_bandwidth),
+                    format_rate(result.config.hardware.disk_bandwidth),
                     result.algorithm_name,
                     format_seconds(result.avg_checkpoint_time),
                     format_seconds(result.recovery_time),
@@ -180,6 +229,7 @@ def run_disk_bandwidth(
         description="Disk-bandwidth sensitivity",
         tables=[table],
         raw=raw,
+        perf=engine.stats.as_dict(),
     )
 
 
@@ -188,6 +238,7 @@ def run_checkpoint_interval(
     intervals: Sequence[int] = (1, 4, 12, 30),
     disk_bandwidth_mb: float = 480,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """Capping checkpoint frequency on a fast disk (beyond the paper).
 
@@ -204,18 +255,27 @@ def run_checkpoint_interval(
         ["interval [ticks]", "algorithm", "avg overhead", "peak pause",
          "recovery"],
     )
-    raw = {}
     hardware = replace(
         PAPER_HARDWARE, disk_bandwidth=megabytes(disk_bandwidth_mb)
     )
-    for interval in intervals:
-        config = replace(
-            PAPER_CONFIG,
-            hardware=hardware,
-            warmup_ticks=scale.warmup_ticks,
-            min_checkpoint_interval_ticks=interval,
+    keyed_configs = [
+        (
+            interval,
+            replace(
+                PAPER_CONFIG,
+                hardware=hardware,
+                warmup_ticks=scale.warmup_ticks,
+                min_checkpoint_interval_ticks=interval,
+            ),
         )
-        for result in _run_point(config, algorithms, scale.num_ticks, seed):
+        for interval in intervals
+    ]
+    grid, engine = _run_grid(
+        engine, keyed_configs, algorithms, scale.num_ticks, seed
+    )
+    raw = {}
+    for interval, results in grid.items():
+        for result in results:
             table.add_row(
                 [
                     interval,
@@ -236,6 +296,7 @@ def run_checkpoint_interval(
         description="Checkpoint-frequency cap on fast disks",
         tables=[table],
         raw=raw,
+        perf=engine.stats.as_dict(),
     )
 
 
@@ -243,6 +304,7 @@ def run_tick_rate(
     scale: ExperimentScale = FULL_SCALE,
     frequencies: Sequence[float] = (30.0, 60.0),
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """30 Hz vs 60 Hz: the latency limit halves at 60 Hz."""
     algorithms = (
@@ -253,13 +315,23 @@ def run_tick_rate(
         ["Ftick", "algorithm", "avg overhead", "peak pause",
          "violates half-tick limit"],
     )
-    raw = {}
-    for frequency in frequencies:
-        hardware = PAPER_HARDWARE.with_tick_frequency(frequency)
-        config = replace(
-            PAPER_CONFIG, hardware=hardware, warmup_ticks=scale.warmup_ticks
+    keyed_configs = [
+        (
+            frequency,
+            replace(
+                PAPER_CONFIG,
+                hardware=PAPER_HARDWARE.with_tick_frequency(frequency),
+                warmup_ticks=scale.warmup_ticks,
+            ),
         )
-        for result in _run_point(config, algorithms, scale.num_ticks, seed):
+        for frequency in frequencies
+    ]
+    grid, engine = _run_grid(
+        engine, keyed_configs, algorithms, scale.num_ticks, seed
+    )
+    raw = {}
+    for frequency, results in grid.items():
+        for result in results:
             table.add_row(
                 [
                     f"{frequency:g} Hz",
@@ -281,4 +353,5 @@ def run_tick_rate(
         description="Tick-frequency sensitivity",
         tables=[table],
         raw=raw,
+        perf=engine.stats.as_dict(),
     )

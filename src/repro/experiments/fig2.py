@@ -12,7 +12,7 @@ for all six algorithms, updates/tick from 1,000 to 256,000.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.ascii_chart import line_chart
 from repro.analysis.tables import TextTable
@@ -25,8 +25,8 @@ from repro.experiments.common import (
     FULL_SCALE,
     format_seconds,
 )
-from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
-from repro.workloads.zipf import ZipfTrace
+from repro.simulation.sweep import SweepEngine, SweepTask
+from repro.workloads.spec import TraceSpec
 
 
 def sweep_results(
@@ -34,23 +34,27 @@ def sweep_results(
     config: SimulationConfig = PAPER_CONFIG,
     skew: float = DEFAULT_SKEW,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[int, List]:
     """Run all six algorithms at every update rate; returns rate -> results."""
     config = replace(config, warmup_ticks=scale.warmup_ticks)
-    simulator = CheckpointSimulator(config)
-    results: Dict[int, List] = {}
-    for updates_per_tick in scale.updates_sweep:
-        trace = PrecomputedObjectTrace(
-            ZipfTrace(
+    engine = engine if engine is not None else SweepEngine(jobs=1)
+    tasks = [
+        SweepTask(
+            key=updates_per_tick,
+            config=config,
+            spec=TraceSpec.create(
+                "zipf",
                 config.geometry,
                 updates_per_tick=updates_per_tick,
                 skew=skew,
                 num_ticks=scale.num_ticks,
                 seed=seed,
-            )
+            ),
         )
-        results[updates_per_tick] = simulator.run_all(trace)
-    return results
+        for updates_per_tick in scale.updates_sweep
+    ]
+    return engine.run(tasks)
 
 
 def _panel_table(
@@ -83,9 +87,14 @@ def _panel_chart(title: str, results: Dict[int, List], metric) -> str:
     )
 
 
-def run(scale: ExperimentScale = FULL_SCALE, seed: int = 0) -> FigureResult:
+def run(
+    scale: ExperimentScale = FULL_SCALE,
+    seed: int = 0,
+    engine: Optional[SweepEngine] = None,
+) -> FigureResult:
     """Reproduce Figure 2 (all three panels)."""
-    results = sweep_results(scale, seed=seed)
+    engine = engine if engine is not None else SweepEngine(jobs=1)
+    results = sweep_results(scale, seed=seed, engine=engine)
 
     overhead_table = _panel_table(
         "a", "Figure 2(a): updates per tick vs avg overhead time",
@@ -137,4 +146,5 @@ def run(scale: ExperimentScale = FULL_SCALE, seed: int = 0) -> FigureResult:
         rate: {r.algorithm_key: r.summary() for r in runs}
         for rate, runs in results.items()
     }
+    figure.perf = engine.stats.as_dict()
     return figure

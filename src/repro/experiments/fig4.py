@@ -9,7 +9,7 @@ recovery times shrink with the dirty set but stay far above the rest.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.ascii_chart import line_chart
 from repro.analysis.tables import TextTable
@@ -22,8 +22,8 @@ from repro.experiments.common import (
     FULL_SCALE,
     format_seconds,
 )
-from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
-from repro.workloads.zipf import ZipfTrace
+from repro.simulation.sweep import SweepEngine, SweepTask
+from repro.workloads.spec import TraceSpec
 
 
 def sweep_results(
@@ -31,23 +31,27 @@ def sweep_results(
     config: SimulationConfig = PAPER_CONFIG,
     updates_per_tick: int = DEFAULT_UPDATES_PER_TICK,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[float, List]:
     """Run all six algorithms at every skew; returns skew -> results."""
     config = replace(config, warmup_ticks=scale.warmup_ticks)
-    simulator = CheckpointSimulator(config)
-    results: Dict[float, List] = {}
-    for skew in scale.skew_sweep:
-        trace = PrecomputedObjectTrace(
-            ZipfTrace(
+    engine = engine if engine is not None else SweepEngine(jobs=1)
+    tasks = [
+        SweepTask(
+            key=skew,
+            config=config,
+            spec=TraceSpec.create(
+                "zipf",
                 config.geometry,
                 updates_per_tick=updates_per_tick,
                 skew=skew,
                 num_ticks=scale.num_ticks,
                 seed=seed,
-            )
+            ),
         )
-        results[skew] = simulator.run_all(trace)
-    return results
+        for skew in scale.skew_sweep
+    ]
+    return engine.run(tasks)
 
 
 def _panel_table(title: str, results: Dict[float, List], metric) -> TextTable:
@@ -71,9 +75,14 @@ def _panel_chart(title: str, results: Dict[float, List], metric) -> str:
     return line_chart(skews, series, title=title, y_label="sec")
 
 
-def run(scale: ExperimentScale = FULL_SCALE, seed: int = 0) -> FigureResult:
+def run(
+    scale: ExperimentScale = FULL_SCALE,
+    seed: int = 0,
+    engine: Optional[SweepEngine] = None,
+) -> FigureResult:
     """Reproduce Figure 4 (all three panels)."""
-    results = sweep_results(scale, seed=seed)
+    engine = engine if engine is not None else SweepEngine(jobs=1)
+    results = sweep_results(scale, seed=seed, engine=engine)
 
     overhead_table = _panel_table(
         "Figure 4(a): skew vs avg overhead time", results,
@@ -118,4 +127,5 @@ def run(scale: ExperimentScale = FULL_SCALE, seed: int = 0) -> FigureResult:
         skew: {r.algorithm_key: r.summary() for r in runs}
         for skew, runs in results.items()
     }
+    figure.perf = engine.stats.as_dict()
     return figure

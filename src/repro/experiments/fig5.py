@@ -15,11 +15,14 @@ supported:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import replace
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis.tables import TextTable
-from repro.config import GAME_CONFIG, SimulationConfig
+from repro.config import GAME_CONFIG, GAME_GEOMETRY, SimulationConfig
 from repro.experiments.common import (
     ExperimentScale,
     FigureResult,
@@ -31,21 +34,32 @@ from repro.game.knights_archers import KnightsArchersGame
 from repro.game.recorder import record_trace
 from repro.game.scenario import BattleScenario
 from repro.game.stats import BattleReport
-from repro.simulation.simulator import CheckpointSimulator, PrecomputedObjectTrace
+from repro.simulation.sweep import SweepEngine, SweepTask
 from repro.state.table import GameStateTable
-from repro.workloads.gamelike import GameLikeTrace
-from repro.workloads.stats import TraceStatistics
+from repro.workloads.spec import TraceSpec
 
 
-def build_trace(scale: ExperimentScale, source: str, seed: int):
-    """Build the Figure 5 input trace; returns (trace, extra_notes)."""
+def build_task(scale: ExperimentScale, source: str, seed: int):
+    """Build the Figure 5 sweep task; returns (task, extra_notes).
+
+    The ``"gamelike"`` source is declarative (a cacheable spec); the
+    ``"game"`` source must actually run the instrumented game, so it passes
+    the recorded trace by value.
+    """
     if source == "gamelike":
-        trace = GameLikeTrace(num_ticks=scale.num_ticks, seed=seed)
+        config = replace(
+            GAME_CONFIG,
+            geometry=GAME_GEOMETRY,
+            warmup_ticks=scale.warmup_ticks,
+        )
+        spec = TraceSpec.create(
+            "gamelike", GAME_GEOMETRY, num_ticks=scale.num_ticks, seed=seed
+        )
         notes = [
             "trace source: statistical game model at the paper's full "
             "400,128-unit geometry"
         ]
-        return trace, notes
+        return SweepTask(key="game-trace", config=config, spec=spec), notes
     if source == "game":
         scenario = BattleScenario(num_units=scale.game_units)
         game = KnightsArchersGame(scenario)
@@ -56,7 +70,12 @@ def build_trace(scale: ExperimentScale, source: str, seed: int):
             f"trace source: instrumented Knights and Archers run at "
             f"{scenario.num_units:,} units",
         ] + report.describe().splitlines()
-        return trace, notes
+        config = replace(
+            GAME_CONFIG,
+            geometry=trace.geometry,
+            warmup_ticks=scale.warmup_ticks,
+        )
+        return SweepTask(key="game-trace", config=config, trace=trace), notes
     raise ValueError(f"unknown Figure 5 trace source {source!r}")
 
 
@@ -64,17 +83,17 @@ def run(
     scale: ExperimentScale = FULL_SCALE,
     source: str = "gamelike",
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """Reproduce Figure 5 (game-trace bars for all six algorithms)."""
-    trace, notes = build_trace(scale, source, seed)
-    stats = TraceStatistics.from_trace(trace)
-    config: SimulationConfig = replace(
-        GAME_CONFIG,
-        geometry=trace.geometry,
-        warmup_ticks=scale.warmup_ticks,
-    )
-    simulator = CheckpointSimulator(config)
-    results = simulator.run_all(PrecomputedObjectTrace(trace))
+    engine = engine if engine is not None else SweepEngine(jobs=1)
+    task, notes = build_task(scale, source, seed)
+    # Resolve the reduction once: the characterization table reads its
+    # counts, and the runs below reuse the same arrays (no second trace
+    # scan -- the reduced view carries the update counts).
+    reduced = engine.prepare(task)
+    task = dataclasses.replace(task, spec=None, trace=reduced)
+    results = engine.run([task])[task.key]
 
     table = TextTable(
         "Figure 5: game trace -- overhead / checkpoint / recovery",
@@ -99,8 +118,8 @@ def run(
     for note in notes:
         table.add_note(note)
     table.add_note(
-        f"trace: {stats.avg_updates_per_tick:,.0f} avg updates/tick over "
-        f"{stats.num_ticks} ticks (paper: 35,590)"
+        f"trace: {reduced.avg_updates_per_tick:,.0f} avg updates/tick over "
+        f"{reduced.num_ticks} ticks (paper: 35,590)"
     )
     table.add_note(
         "paper: Copy-on-Update-Partial-Redo overhead 1.6 ms vs 1.2 ms for "
@@ -112,13 +131,14 @@ def run(
         "Table 5: characteristics of the game update trace",
         ["parameter", "setting"],
     )
-    characterization.add_row(["number of units", f"{trace.geometry.rows:,}"])
+    characterization.add_row(["number of units", f"{reduced.geometry.rows:,}"])
     characterization.add_row(
-        ["number of attributes per unit", trace.geometry.columns]
+        ["number of attributes per unit", reduced.geometry.columns]
     )
-    characterization.add_row(["number of ticks", f"{stats.num_ticks:,}"])
+    characterization.add_row(["number of ticks", f"{reduced.num_ticks:,}"])
     characterization.add_row(
-        ["avg. number of updates per tick", f"{stats.avg_updates_per_tick:,.0f}"]
+        ["avg. number of updates per tick",
+         f"{reduced.avg_updates_per_tick:,.0f}"]
     )
 
     figure = FigureResult(
@@ -131,10 +151,11 @@ def run(
         raw={
             "results": {r.algorithm_key: r.summary() for r in results},
             "trace": {
-                "avg_updates_per_tick": stats.avg_updates_per_tick,
-                "rows": trace.geometry.rows,
-                "columns": trace.geometry.columns,
+                "avg_updates_per_tick": reduced.avg_updates_per_tick,
+                "rows": reduced.geometry.rows,
+                "columns": reduced.geometry.columns,
             },
         },
+        perf=engine.stats.as_dict(),
     )
     return figure

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import inspect
+from typing import Callable, Dict, FrozenSet
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
@@ -42,15 +43,34 @@ _EXPERIMENTS: Dict[str, Callable[..., FigureResult]] = {
 EXPERIMENT_IDS = tuple(_EXPERIMENTS)
 
 
-def run_experiment(
-    experiment_id: str, scale: ExperimentScale = FULL_SCALE, **kwargs
-) -> FigureResult:
-    """Run one experiment by id."""
+def _driver(experiment_id: str) -> Callable[..., FigureResult]:
     try:
-        driver = _EXPERIMENTS[experiment_id]
+        return _EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(EXPERIMENT_IDS)
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
+
+
+def experiment_parameters(experiment_id: str) -> FrozenSet[str]:
+    """The keyword parameters an experiment's driver accepts.
+
+    Callers use this instead of hardcoding which experiments take ``seed``
+    or ``engine`` -- the driver's signature is the single source of truth.
+    """
+    return frozenset(inspect.signature(_driver(experiment_id)).parameters)
+
+
+def run_experiment(
+    experiment_id: str, scale: ExperimentScale = FULL_SCALE, **kwargs
+) -> FigureResult:
+    """Run one experiment by id.
+
+    Keyword arguments the driver does not accept are silently dropped, so
+    callers can offer ``seed=...``/``engine=...`` uniformly.
+    """
+    driver = _driver(experiment_id)
+    accepted = experiment_parameters(experiment_id)
+    kwargs = {key: value for key, value in kwargs.items() if key in accepted}
     return driver(scale, **kwargs)

@@ -15,22 +15,34 @@ detailed simulation model."
   checkpoint times, and recovery estimates.
 * :class:`~repro.simulation.results.SimulationResult` -- per-tick series,
   per-checkpoint records, and the aggregates the figures plot.
+* :class:`~repro.simulation.sweep.SweepEngine` -- parallel execution of
+  ``(workload point, algorithm)`` sweeps over a process pool, sharing trace
+  reductions through the persistent cache.
 """
 
 from repro.simulation.costmodel import CostModel
 from repro.simulation.disk import DiskWriteScheduler, WriteJob
 from repro.simulation.recovery import RecoveryEstimate, estimate_recovery
 from repro.simulation.results import CheckpointRecord, SimulationResult
-from repro.simulation.simulator import CheckpointSimulator, SimulatedExecutor
+from repro.simulation.simulator import (
+    CheckpointSimulator,
+    PrecomputedObjectTrace,
+    SimulatedExecutor,
+)
+from repro.simulation.sweep import SweepEngine, SweepStats, SweepTask
 
 __all__ = [
     "CheckpointRecord",
     "CheckpointSimulator",
     "CostModel",
     "DiskWriteScheduler",
+    "PrecomputedObjectTrace",
     "RecoveryEstimate",
     "SimulatedExecutor",
     "SimulationResult",
+    "SweepEngine",
+    "SweepStats",
+    "SweepTask",
     "WriteJob",
     "estimate_recovery",
 ]

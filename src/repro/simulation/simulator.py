@@ -15,7 +15,7 @@ every run.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterable, List, Tuple, Union
 
 import numpy as np
 
@@ -31,36 +31,9 @@ from repro.simulation.recovery import estimate_recovery
 from repro.simulation.results import CheckpointRecord, SimulationResult
 from repro.workloads.base import UpdateTrace
 
-
-class PrecomputedObjectTrace:
-    """An update trace reduced to per-tick (unique objects, update count).
-
-    Checkpointing policies only observe which atomic objects were touched and
-    how many raw updates occurred, so this reduction is lossless for the
-    simulator while being computed once instead of once per algorithm.
-    """
-
-    def __init__(self, trace: UpdateTrace) -> None:
-        self._geometry = trace.geometry
-        self._ticks: List[Tuple[np.ndarray, int]] = []
-        for cells in trace.ticks():
-            objects = np.unique(trace.geometry.object_of_cell(cells))
-            self._ticks.append((objects, int(cells.size)))
-
-    @property
-    def geometry(self):
-        """Geometry of the originating trace."""
-        return self._geometry
-
-    @property
-    def num_ticks(self) -> int:
-        """Number of ticks."""
-        return len(self._ticks)
-
-    def object_ticks(self) -> Iterator[Tuple[np.ndarray, int]]:
-        """Yield ``(unique_object_ids, update_count)`` per tick."""
-        return iter(self._ticks)
-
+# The reduction lives with the workloads (it is a pure function of the trace
+# and the unit of persistent caching); re-exported here for compatibility.
+from repro.workloads.reduced import PrecomputedObjectTrace
 
 TraceLike = Union[UpdateTrace, PrecomputedObjectTrace]
 
@@ -192,12 +165,16 @@ class CheckpointSimulator:
         base = self._config.hardware.tick_duration
         cost = self._cost_model
 
-        tick_updates: List[int] = []
-        tick_overhead: List[float] = []
-        bit_time: List[float] = []
-        lock_time: List[float] = []
-        copy_time: List[float] = []
-        pause_time: List[float] = []
+        # Per-tick series are preallocated (the trace knows its length) and
+        # hold raw event counts; the cost multiplications happen once,
+        # vectorized, after the loop.
+        num_ticks = trace.num_ticks
+        tick_updates = np.zeros(num_ticks, dtype=np.int64)
+        update_overheads = np.zeros(num_ticks, dtype=np.float64)
+        bit_counts = np.zeros(num_ticks, dtype=np.int64)
+        lock_counts = np.zeros(num_ticks, dtype=np.int64)
+        copy_counts = np.zeros(num_ticks, dtype=np.int64)
+        pause_time = np.zeros(num_ticks, dtype=np.float64)
         records: List[CheckpointRecord] = []
 
         min_interval = self._config.min_checkpoint_interval_ticks
@@ -206,6 +183,10 @@ class CheckpointSimulator:
         for tick, (unique_objects, update_count) in enumerate(
             _object_tick_stream(trace)
         ):
+            if tick >= num_ticks:
+                raise SimulationError(
+                    f"trace yielded more than its declared {num_ticks} ticks"
+                )
             executor.advance(base)
             update_overhead = framework.process_updates(unique_objects,
                                                         update_count)
@@ -232,26 +213,26 @@ class CheckpointSimulator:
                     )
                 )
 
-            tick_updates.append(update_count)
-            tick_overhead.append(update_overhead + boundary.sync_pause)
-            bit_time.append(effects.bit_tests * cost.hardware.bit_test_overhead)
-            lock_time.append(effects.lock_count * cost.hardware.lock_overhead)
-            copy_time.append(effects.copy_count * cost.single_object_copy_time())
-            pause_time.append(boundary.sync_pause)
+            tick_updates[tick] = update_count
+            update_overheads[tick] = update_overhead
+            bit_counts[tick] = effects.bit_tests
+            lock_counts[tick] = effects.lock_count
+            copy_counts[tick] = effects.copy_count
+            pause_time[tick] = boundary.sync_pause
 
-        overhead_array = np.asarray(tick_overhead)
+        overhead_array = update_overheads + pause_time
         result = SimulationResult(
             algorithm_key=policy.key,
             algorithm_name=policy.name,
             config=self._config,
             base_tick_length=base,
-            tick_updates=np.asarray(tick_updates, dtype=np.int64),
+            tick_updates=tick_updates,
             tick_overhead=overhead_array,
             tick_length=base + overhead_array,
-            bit_time=np.asarray(bit_time),
-            lock_time=np.asarray(lock_time),
-            copy_time=np.asarray(copy_time),
-            pause_time=np.asarray(pause_time),
+            bit_time=bit_counts * cost.hardware.bit_test_overhead,
+            lock_time=lock_counts * cost.hardware.lock_overhead,
+            copy_time=copy_counts * cost.single_object_copy_time(),
+            pause_time=pause_time,
             checkpoints=records,
         )
         result.recovery = estimate_recovery(

@@ -1,0 +1,207 @@
+"""Persistent on-disk cache of reduced traces.
+
+Generated traces are deterministic functions of their spec, and the
+simulator only ever consumes their :class:`~repro.workloads.reduced.
+PrecomputedObjectTrace` reduction -- so the reduction is cached on disk and
+never computed twice, across processes *and* across runs.  Entries are
+compressed ``.npz`` files named by the spec's content hash under
+``~/.cache/repro-checkpoint/`` (override with ``$REPRO_CACHE_DIR`` or the
+``directory`` argument / ``--cache-dir`` CLI flag).
+
+The format is versioned; loads are corruption-tolerant (any unreadable or
+inconsistent entry is deleted and treated as a miss, falling back to
+regeneration); and the directory is bounded by a size-capped LRU sweep
+(access order approximated by file mtimes, refreshed on every hit).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.reduced import PrecomputedObjectTrace
+from repro.workloads.spec import TraceSpec
+
+#: On-disk entry format version; mismatched entries are regenerated.
+CACHE_FORMAT_VERSION = 1
+
+#: Default size cap for the cache directory (override with
+#: ``$REPRO_CACHE_MAX_BYTES`` or the ``max_bytes`` argument).
+DEFAULT_MAX_BYTES = 2 * 1024**3
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or the XDG default."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-checkpoint"
+
+
+class TraceCache:
+    """Content-addressed store of trace reductions.
+
+    The cache holds no mutable state beyond the directory itself, so
+    instances are cheap, picklable, and safe to share with worker processes.
+    Concurrent writers are safe: entries are written to a temporary file and
+    atomically renamed, so readers only ever see complete entries (two
+    processes racing on the same miss both regenerate, one rename wins).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike, None] = None,
+        max_bytes: Optional[int] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        if max_bytes is None:
+            max_bytes = int(os.environ.get(_ENV_MAX_BYTES, DEFAULT_MAX_BYTES))
+        self.max_bytes = max_bytes
+        self.enabled = enabled
+
+    def path_for(self, spec: TraceSpec) -> Path:
+        """The on-disk entry path for ``spec``."""
+        return self.directory / f"{spec.content_key()}.npz"
+
+    def load(self, spec: TraceSpec) -> Optional[PrecomputedObjectTrace]:
+        """Return the cached reduction for ``spec``, or None on a miss.
+
+        Unreadable, truncated, version-mismatched, or otherwise inconsistent
+        entries are deleted and reported as misses.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(spec)
+        try:
+            with np.load(path) as archive:
+                if int(archive["version"]) != CACHE_FORMAT_VERSION:
+                    raise ValueError("cache format version mismatch")
+                geometry = spec.geometry
+                stored_shape = archive["geometry"]
+                if not np.array_equal(
+                    stored_shape,
+                    [geometry.rows, geometry.columns, geometry.cell_bytes,
+                     geometry.object_bytes],
+                ):
+                    raise ValueError("cache entry geometry mismatch")
+                reduced = PrecomputedObjectTrace.from_arrays(
+                    geometry,
+                    archive["objects"],
+                    archive["offsets"],
+                    archive["update_counts"],
+                )
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt or stale entry: drop it and fall back to regeneration.
+            self._remove(path)
+            return None
+        self._touch(path)
+        return reduced
+
+    def store(self, spec: TraceSpec, reduced: PrecomputedObjectTrace) -> None:
+        """Persist ``reduced`` for ``spec`` (atomic; then LRU-evict)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        objects, offsets, update_counts = reduced.arrays()
+        geometry = reduced.geometry
+        path = self.path_for(spec)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        try:
+            np.savez_compressed(
+                tmp,
+                version=np.int64(CACHE_FORMAT_VERSION),
+                geometry=np.array(
+                    [geometry.rows, geometry.columns, geometry.cell_bytes,
+                     geometry.object_bytes],
+                    dtype=np.int64,
+                ),
+                objects=objects,
+                offsets=offsets,
+                update_counts=update_counts,
+            )
+            os.replace(tmp, path)
+        finally:
+            self._remove(tmp)
+        self.evict()
+
+    def get(self, spec: TraceSpec) -> Tuple[PrecomputedObjectTrace, bool]:
+        """Load-or-compute: returns ``(reduction, was_cache_hit)``."""
+        cached = self.load(spec)
+        if cached is not None:
+            return cached, True
+        reduced = PrecomputedObjectTrace(spec.build())
+        reduced.arrays()  # force the reduction before (and regardless of) store
+        self.store(spec, reduced)
+        return reduced, False
+
+    def entries(self) -> list:
+        """All complete cache entry paths (temporary files excluded)."""
+        if not self.directory.is_dir():
+            return []
+        return [
+            path
+            for path in self.directory.glob("*.npz")
+            if ".tmp." not in path.name
+        ]
+
+    def total_bytes(self) -> int:
+        """Total size of all cache entries in bytes."""
+        return sum(self._size(path) for path in self.entries())
+
+    def evict(self) -> int:
+        """Delete least-recently-used entries until under the size cap.
+
+        Returns the number of entries removed.  The most recently used entry
+        is always kept, even if it alone exceeds the cap.
+        """
+        entries = sorted(self.entries(), key=self._mtime)
+        total = sum(self._size(path) for path in entries)
+        removed = 0
+        while total > self.max_bytes and len(entries) > 1:
+            oldest = entries.pop(0)
+            total -= self._size(oldest)
+            self._remove(oldest)
+            removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Delete every cache entry."""
+        for path in self.entries():
+            self._remove(path)
+
+    @staticmethod
+    def _size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _mtime(path: Path) -> float:
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # LRU freshness is best-effort
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,117 @@
+"""Declarative, content-addressable descriptions of generated traces.
+
+A :class:`TraceSpec` names a registered generator class, a geometry, and the
+generator's keyword parameters.  Because generated traces are deterministic
+functions of ``(generator, geometry, params, seed)``, a spec fully identifies
+a trace without materializing it -- which makes specs the right currency for
+both the persistent trace cache (:mod:`repro.workloads.cache`, keyed by
+:meth:`TraceSpec.content_key`) and the parallel sweep engine
+(:mod:`repro.simulation.sweep`, which ships cheap specs to worker processes
+instead of pickling megabytes of tick arrays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads.base import UpdateTrace
+from repro.workloads.gamelike import GameLikeTrace
+from repro.workloads.uniform import UniformTrace
+from repro.workloads.zipf import ZipfTrace
+
+#: Bumped whenever spec hashing or generator semantics change incompatibly,
+#: so stale cache entries from older code can never be mistaken for current.
+SPEC_FORMAT_VERSION = 1
+
+_GENERATORS: Dict[str, Type[UpdateTrace]] = {
+    "zipf": ZipfTrace,
+    "uniform": UniformTrace,
+    "gamelike": GameLikeTrace,
+}
+
+
+def register_generator(key: str, trace_class: Type[UpdateTrace]) -> None:
+    """Register a trace class under ``key`` for use in specs.
+
+    Re-registering a key with a *different* class is rejected: the key
+    participates in cache content hashes, so it must stay unambiguous.
+    """
+    existing = _GENERATORS.get(key)
+    if existing is not None and existing is not trace_class:
+        raise TraceError(
+            f"generator key {key!r} is already registered to "
+            f"{existing.__name__}"
+        )
+    _GENERATORS[key] = trace_class
+
+
+def generator_class(key: str) -> Type[UpdateTrace]:
+    """The trace class registered under ``key``."""
+    try:
+        return _GENERATORS[key]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise TraceError(
+            f"unknown trace generator {key!r}; known: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A picklable, hashable recipe for one generated trace.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so equal specs
+    compare (and hash) equal regardless of keyword order.  Build instances
+    through :meth:`create`, which validates the generator key.
+    """
+
+    generator: str
+    geometry: StateGeometry
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(
+        cls, generator: str, geometry: StateGeometry, **params
+    ) -> "TraceSpec":
+        """Validate and normalize a spec (the preferred constructor)."""
+        generator_class(generator)  # raises on unknown keys
+        return cls(generator, geometry, tuple(sorted(params.items())))
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """The generator keyword parameters as a plain dict."""
+        return dict(self.params)
+
+    def build(self) -> UpdateTrace:
+        """Materialize the described trace generator."""
+        return generator_class(self.generator)(
+            self.geometry, **self.params_dict
+        )
+
+    def content_key(self) -> str:
+        """Stable hex digest identifying the trace this spec generates.
+
+        Covers the format version, the generator key *and* its class path
+        (renaming or swapping the class invalidates old entries), the full
+        geometry, and every parameter.
+        """
+        trace_class = generator_class(self.generator)
+        payload = {
+            "format": SPEC_FORMAT_VERSION,
+            "generator": self.generator,
+            "class": f"{trace_class.__module__}.{trace_class.__qualname__}",
+            "geometry": [
+                self.geometry.rows,
+                self.geometry.columns,
+                self.geometry.cell_bytes,
+                self.geometry.object_bytes,
+            ],
+            "params": {name: value for name, value in self.params},
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -5,6 +5,13 @@ summarizes the prototype-game trace: number of units and attributes, tick
 count, and the average number of updates per tick -- plus a few extras that
 the analysis sections reason about informally (unique rows touched, unique
 atomic objects touched per tick, per-column update distribution).
+
+:meth:`TraceStatistics.from_trace` consumes a full cell-level trace, which
+only a fresh generator can replay.  Callers that already hold a
+:class:`~repro.workloads.reduced.PrecomputedObjectTrace` (e.g. Figure 5)
+should read ``total_updates`` / ``avg_updates_per_tick`` /
+``avg_unique_objects_per_tick`` straight off the reduction instead of
+re-iterating the trace -- the reduction carries the per-tick update counts.
 """
 
 from __future__ import annotations

@@ -1,0 +1,178 @@
+"""Tests for the persistent on-disk trace cache."""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import StateGeometry
+from repro.workloads.cache import TraceCache
+from repro.workloads.reduced import PrecomputedObjectTrace
+from repro.workloads.spec import TraceSpec
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=400, columns=10)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(directory=tmp_path / "cache")
+
+
+def make_spec(geometry, **overrides):
+    params = dict(updates_per_tick=200, skew=0.8, num_ticks=5, seed=0)
+    params.update(overrides)
+    return TraceSpec.create("zipf", geometry, **params)
+
+
+def reductions_equal(a, b):
+    arrays_a = a.arrays()
+    arrays_b = b.arrays()
+    return all(
+        np.array_equal(x, y) and x.dtype == y.dtype
+        for x, y in zip(arrays_a, arrays_b)
+    )
+
+
+class TestTraceCache:
+    def test_miss_then_hit(self, cache, geometry):
+        spec = make_spec(geometry)
+        reduced, hit = cache.get(spec)
+        assert not hit
+        again, hit = cache.get(spec)
+        assert hit
+        assert reductions_equal(reduced, again)
+
+    def test_load_without_entry_is_none(self, cache, geometry):
+        assert cache.load(make_spec(geometry)) is None
+
+    def test_distinct_specs_distinct_entries(self, cache, geometry):
+        cache.get(make_spec(geometry, seed=0))
+        cache.get(make_spec(geometry, seed=1))
+        assert len(cache.entries()) == 2
+
+    def test_disabled_cache_never_stores(self, tmp_path, geometry):
+        cache = TraceCache(directory=tmp_path / "cache", enabled=False)
+        reduced, hit = cache.get(make_spec(geometry))
+        assert not hit
+        assert reduced.num_ticks == 5
+        assert cache.entries() == []
+        _, hit = cache.get(make_spec(geometry))
+        assert not hit
+
+    def test_corrupt_entry_regenerated(self, cache, geometry):
+        spec = make_spec(geometry)
+        cache.get(spec)
+        path = cache.path_for(spec)
+        path.write_bytes(b"this is not an npz archive")
+        reduced = cache.load(spec)
+        assert reduced is None
+        assert not path.exists()  # the bad entry was dropped
+        regenerated, hit = cache.get(spec)
+        assert not hit
+        fresh = PrecomputedObjectTrace(spec.build())
+        assert reductions_equal(regenerated, fresh)
+
+    def test_truncated_entry_regenerated(self, cache, geometry):
+        spec = make_spec(geometry)
+        cache.get(spec)
+        path = cache.path_for(spec)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load(spec) is None
+        _, hit = cache.get(spec)
+        assert not hit
+
+    def test_geometry_mismatch_regenerated(self, cache, geometry):
+        spec = make_spec(geometry)
+        cache.get(spec)
+        # Same content key on disk, but pretend the stored geometry differs.
+        other_geometry = StateGeometry(
+            rows=geometry.rows, columns=geometry.columns,
+            object_bytes=geometry.object_bytes * 2,
+        )
+        other_spec = make_spec(other_geometry)
+        source = cache.path_for(spec)
+        target = cache.path_for(other_spec)
+        target.write_bytes(source.read_bytes())
+        assert cache.load(other_spec) is None
+        assert not target.exists()
+
+    def test_tmp_files_not_counted_as_entries(self, cache, geometry):
+        cache.get(make_spec(geometry))
+        cache.directory.joinpath("deadbeef.1234.tmp.npz").write_bytes(b"x")
+        assert len(cache.entries()) == 1
+
+    def test_lru_eviction_under_size_cap(self, tmp_path, geometry):
+        cache = TraceCache(directory=tmp_path / "cache")
+        specs = [make_spec(geometry, seed=seed) for seed in range(3)]
+        for spec in specs:
+            cache.get(spec)
+            time.sleep(0.01)  # distinct mtimes for LRU ordering
+        assert len(cache.entries()) == 3
+        # Shrink the cap to one entry's size: the two oldest go.
+        cache.max_bytes = cache._size(cache.path_for(specs[-1]))
+        removed = cache.evict()
+        assert removed == 2
+        remaining = cache.entries()
+        assert remaining == [cache.path_for(specs[-1])]
+
+    def test_hit_refreshes_lru_position(self, tmp_path, geometry):
+        cache = TraceCache(directory=tmp_path / "cache")
+        old = make_spec(geometry, seed=0)
+        new = make_spec(geometry, seed=1)
+        cache.get(old)
+        time.sleep(0.01)
+        cache.get(new)
+        time.sleep(0.01)
+        cache.get(old)  # hit: refresh the old entry's recency
+        cache.max_bytes = 1
+        cache.evict()
+        assert cache.entries() == [cache.path_for(old)]
+
+    def test_most_recent_entry_survives_even_over_cap(self, tmp_path,
+                                                      geometry):
+        cache = TraceCache(directory=tmp_path / "cache", max_bytes=1)
+        spec = make_spec(geometry)
+        cache.get(spec)
+        assert cache.entries() == [cache.path_for(spec)]
+
+    def test_clear_removes_everything(self, cache, geometry):
+        cache.get(make_spec(geometry))
+        cache.clear()
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+
+
+class TestCachedEqualsFresh:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        updates_per_tick=st.integers(min_value=0, max_value=500),
+        skew=st.floats(min_value=0.0, max_value=0.99),
+        num_ticks=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scramble=st.booleans(),
+    )
+    def test_cache_round_trip_is_lossless(
+        self, updates_per_tick, skew, num_ticks, seed, scramble
+    ):
+        """Property: store + load reproduces the fresh reduction exactly."""
+        geometry = StateGeometry(rows=128, columns=8)
+        spec = TraceSpec.create(
+            "zipf", geometry, updates_per_tick=updates_per_tick, skew=skew,
+            num_ticks=num_ticks, seed=seed, scramble=scramble,
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = TraceCache(directory=Path(tmp))
+            stored, hit = cache.get(spec)
+            assert not hit
+            loaded = cache.load(spec)
+            assert loaded is not None
+        fresh = PrecomputedObjectTrace(spec.build())
+        assert loaded.num_ticks == fresh.num_ticks == num_ticks
+        assert reductions_equal(loaded, fresh)
+        assert loaded.total_updates == fresh.total_updates

@@ -1,0 +1,159 @@
+"""Tests for the vectorized per-tick object reduction."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads import reduced as reduced_module
+from repro.workloads.base import MaterializedTrace
+from repro.workloads.reduced import PrecomputedObjectTrace, _reduce_trace
+from repro.workloads.zipf import ZipfTrace
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=400, columns=10)
+
+
+def reference_reduction(trace):
+    """The straightforward per-tick reduction the bulk pass must match."""
+    objects, offsets, counts = [], [0], []
+    for cells in trace.ticks():
+        unique = np.unique(trace.geometry.object_of_cell(cells))
+        objects.append(unique)
+        offsets.append(offsets[-1] + unique.size)
+        counts.append(cells.size)
+    flat = (
+        np.concatenate(objects) if objects else np.empty(0, dtype=np.int64)
+    )
+    return (
+        flat.astype(np.int64),
+        np.asarray(offsets, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )
+
+
+class TestReduceTrace:
+    def test_matches_per_tick_reference(self, geometry):
+        trace = ZipfTrace(geometry, updates_per_tick=500, num_ticks=7, seed=3)
+        got = _reduce_trace(trace)
+        want = reference_reduction(trace)
+        for a, b in zip(got, want):
+            assert np.array_equal(a, b)
+            assert a.dtype == b.dtype
+
+    def test_chunked_matches_unchunked(self, geometry, monkeypatch):
+        trace = ZipfTrace(geometry, updates_per_tick=300, num_ticks=9, seed=1)
+        unchunked = _reduce_trace(trace)
+        # Force a flush after every tick.
+        monkeypatch.setattr(reduced_module, "_CHUNK_UPDATE_BUDGET", 1)
+        chunked = _reduce_trace(trace)
+        for a, b in zip(chunked, unchunked):
+            assert np.array_equal(a, b)
+
+    def test_empty_trace(self, geometry):
+        objects, offsets, counts = _reduce_trace(
+            MaterializedTrace(geometry, [])
+        )
+        assert objects.size == 0
+        assert np.array_equal(offsets, [0])
+        assert counts.size == 0
+
+    def test_empty_ticks(self, geometry):
+        trace = MaterializedTrace(
+            geometry,
+            [np.array([0, 1], dtype=np.int64), np.empty(0, dtype=np.int64)],
+        )
+        objects, offsets, counts = _reduce_trace(trace)
+        assert np.array_equal(counts, [2, 0])
+        assert offsets[-1] == objects.size
+
+
+class TestPrecomputedObjectTrace:
+    def test_construction_is_lazy(self, geometry):
+        class ExplodingTrace(MaterializedTrace):
+            def ticks(self):
+                raise AssertionError("reduction forced too early")
+
+        trace = ExplodingTrace(geometry, [np.array([0], dtype=np.int64)])
+        reduced = PrecomputedObjectTrace(trace)
+        # Geometry and tick count never touch the source trace.
+        assert reduced.geometry == geometry
+        assert reduced.num_ticks == 1
+        with pytest.raises(AssertionError):
+            reduced.update_counts
+
+    def test_source_released_after_reduction(self, geometry):
+        trace = ZipfTrace(geometry, updates_per_tick=50, num_ticks=2)
+        reduced = PrecomputedObjectTrace(trace)
+        reduced.arrays()
+        assert reduced._source is None
+
+    def test_counts_and_averages(self, geometry):
+        trace = ZipfTrace(geometry, updates_per_tick=100, num_ticks=4, seed=0)
+        reduced = PrecomputedObjectTrace(trace)
+        assert reduced.total_updates == 400
+        assert reduced.avg_updates_per_tick == 100.0
+        assert reduced.avg_unique_objects_per_tick > 0
+
+    def test_tick_objects_bounds(self, geometry):
+        reduced = PrecomputedObjectTrace(
+            ZipfTrace(geometry, updates_per_tick=10, num_ticks=2)
+        )
+        with pytest.raises(TraceError):
+            reduced.tick_objects(2)
+        with pytest.raises(TraceError):
+            reduced.tick_objects(-1)
+
+    def test_object_ticks_stream(self, geometry):
+        trace = ZipfTrace(geometry, updates_per_tick=60, num_ticks=3, seed=5)
+        reduced = PrecomputedObjectTrace(trace)
+        pairs = list(reduced.object_ticks())
+        assert len(pairs) == 3
+        for index, (objects, count) in enumerate(pairs):
+            assert count == 60
+            assert np.array_equal(objects, reduced.tick_objects(index))
+            assert np.array_equal(objects, np.unique(objects))  # sorted+uniq
+
+    def test_from_arrays_round_trip(self, geometry):
+        trace = ZipfTrace(geometry, updates_per_tick=80, num_ticks=3, seed=2)
+        original = PrecomputedObjectTrace(trace)
+        rebuilt = PrecomputedObjectTrace.from_arrays(
+            geometry, *original.arrays()
+        )
+        for a, b in zip(original.arrays(), rebuilt.arrays()):
+            assert np.array_equal(a, b)
+
+    def test_from_arrays_rejects_bad_offsets(self, geometry):
+        objects = np.array([1, 2, 3], dtype=np.int64)
+        counts = np.array([3], dtype=np.int64)
+        with pytest.raises(TraceError, match="inconsistent tick offsets"):
+            PrecomputedObjectTrace.from_arrays(
+                geometry, objects, np.array([0, 2], dtype=np.int64), counts
+            )
+        with pytest.raises(TraceError, match="decreasing"):
+            PrecomputedObjectTrace.from_arrays(
+                geometry,
+                objects,
+                np.array([0, 4, 3], dtype=np.int64),
+                np.array([4, 1], dtype=np.int64),
+            )
+
+    def test_from_arrays_rejects_count_mismatch(self, geometry):
+        with pytest.raises(TraceError, match="update_counts length"):
+            PrecomputedObjectTrace.from_arrays(
+                geometry,
+                np.empty(0, dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([5], dtype=np.int64),
+            )
+
+    def test_from_arrays_rejects_out_of_range_objects(self, geometry):
+        with pytest.raises(TraceError, match="object ids outside"):
+            PrecomputedObjectTrace.from_arrays(
+                geometry,
+                np.array([geometry.num_objects], dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )

@@ -1,0 +1,103 @@
+"""Tests for declarative trace specs and the generator registry."""
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.errors import TraceError
+from repro.workloads.gamelike import GameLikeTrace
+from repro.workloads.spec import (
+    TraceSpec,
+    generator_class,
+    register_generator,
+)
+from repro.workloads.uniform import UniformTrace
+from repro.workloads.zipf import ZipfTrace
+
+
+@pytest.fixture
+def geometry():
+    return StateGeometry(rows=200, columns=10)
+
+
+class TestRegistry:
+    def test_builtin_generators_registered(self):
+        assert generator_class("zipf") is ZipfTrace
+        assert generator_class("uniform") is UniformTrace
+        assert generator_class("gamelike") is GameLikeTrace
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(TraceError, match="unknown trace generator"):
+            generator_class("nope")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_generator("zipf", ZipfTrace)
+        assert generator_class("zipf") is ZipfTrace
+
+    def test_reregistering_different_class_rejected(self):
+        with pytest.raises(TraceError, match="already registered"):
+            register_generator("zipf", UniformTrace)
+
+
+class TestTraceSpec:
+    def test_create_validates_generator(self, geometry):
+        with pytest.raises(TraceError):
+            TraceSpec.create("nope", geometry)
+
+    def test_params_normalized_to_sorted_tuple(self, geometry):
+        a = TraceSpec.create("zipf", geometry, updates_per_tick=10, seed=3)
+        b = TraceSpec.create("zipf", geometry, seed=3, updates_per_tick=10)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.params_dict == {"updates_per_tick": 10, "seed": 3}
+
+    def test_build_round_trip(self, geometry):
+        spec = TraceSpec.create(
+            "zipf", geometry, updates_per_tick=50, skew=0.5, num_ticks=4,
+            seed=2,
+        )
+        trace = spec.build()
+        assert isinstance(trace, ZipfTrace)
+        assert trace.geometry == geometry
+        assert trace.num_ticks == 4
+        # Building twice yields identical streams (specs are deterministic).
+        again = spec.build()
+        for a, b in zip(trace.ticks(), again.ticks()):
+            assert np.array_equal(a, b)
+
+    def test_content_key_is_stable(self, geometry):
+        spec = TraceSpec.create("zipf", geometry, updates_per_tick=10)
+        assert spec.content_key() == spec.content_key()
+        same = TraceSpec.create("zipf", geometry, updates_per_tick=10)
+        assert spec.content_key() == same.content_key()
+
+    def test_content_key_differs_by_params(self, geometry):
+        base = TraceSpec.create("zipf", geometry, updates_per_tick=10, seed=0)
+        keys = {
+            base.content_key(),
+            TraceSpec.create(
+                "zipf", geometry, updates_per_tick=11, seed=0
+            ).content_key(),
+            TraceSpec.create(
+                "zipf", geometry, updates_per_tick=10, seed=1
+            ).content_key(),
+            TraceSpec.create(
+                "uniform", geometry, updates_per_tick=10, seed=0
+            ).content_key(),
+        }
+        assert len(keys) == 4
+
+    def test_content_key_differs_by_geometry(self, geometry):
+        other = StateGeometry(rows=geometry.rows, columns=geometry.columns,
+                              object_bytes=geometry.object_bytes * 2)
+        a = TraceSpec.create("zipf", geometry, updates_per_tick=10)
+        b = TraceSpec.create("zipf", other, updates_per_tick=10)
+        assert a.content_key() != b.content_key()
+
+    def test_specs_are_picklable(self, geometry):
+        import pickle
+
+        spec = TraceSpec.create("zipf", geometry, updates_per_tick=10)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_key() == spec.content_key()
