@@ -1,18 +1,281 @@
-"""Benchmarks of the real durable engine: measured crash recovery."""
+#!/usr/bin/env python
+"""Multi-shard throughput benchmark of the durable engine's I/O pipeline.
 
-from conftest import run_once
+Measures what the asynchronous checkpoint writer buys over the serial
+same-thread drain, on the real Knights-and-Archers game:
 
-from repro.experiments import engine_recovery
+* **single shard, sync vs async** at the same checkpoint cadence: ticks/sec,
+  mean and p99 tick latency, and the checkpoint-overlap ratio (fraction of
+  ticks that ran while a checkpoint write was in flight);
+* **fleet scaling**: aggregate ticks/sec for 1..N shards, each shard a
+  mutator thread plus its own writer thread;
+* **determinism**: serial and threaded runs of every algorithm crash and
+  recover to bit-identical committed state.
+
+Results land in ``BENCH_engine.json``.  Run ``--smoke`` for the CI-sized
+variant (2 shards, small geometry).  This is a standalone script (not a
+pytest benchmark) so it can run without pytest-benchmark installed::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.registry import ALGORITHM_KEYS  # noqa: E402
+from repro.engine.fleet import ShardFleet  # noqa: E402
+from repro.engine.recovery import RecoveryManager  # noqa: E402
+from repro.engine.server import DurableGameServer  # noqa: E402
+from repro.game.knights_archers import KnightsArchersGame  # noqa: E402
+from repro.game.scenario import BattleScenario  # noqa: E402
 
 
-def test_engine_recovery(benchmark, bench_scale, report_sink):
-    """Crash + recover the real engine under all six algorithms."""
-    result = run_once(benchmark, engine_recovery.run, bench_scale)
-    report_sink("engine_recovery", result.render())
-    raw = result.raw
-    for key, metrics in raw.items():
-        assert metrics["exact"], f"{key} did not recover bit-exactly"
-        assert metrics["recovery_s"] > 0
-    # The log-organized methods really do scan their log at restore; the
-    # double-backup pair of the paper's recommendation reads one image.
-    assert raw["copy-on-update"]["restore_s"] > 0
+def percentile(samples: np.ndarray, q: float) -> float:
+    return float(np.percentile(samples, q)) if samples.size else 0.0
+
+
+def measure_single_shard(
+    scenario: BattleScenario,
+    directory: str,
+    algorithm: str,
+    seed: int,
+    ticks: int,
+    min_interval: int,
+    async_writer: bool,
+) -> dict:
+    """Run one server, timing every tick; returns the headline metrics."""
+    app = KnightsArchersGame(scenario)
+    server = DurableGameServer(
+        app,
+        directory,
+        algorithm=algorithm,
+        seed=seed,
+        async_writer=async_writer,
+        min_checkpoint_interval_ticks=min_interval,
+    )
+    latencies = np.zeros(ticks)
+    started = time.perf_counter()
+    for index in range(ticks):
+        tick_started = time.perf_counter()
+        server.run_tick()
+        latencies[index] = time.perf_counter() - tick_started
+    wall = time.perf_counter() - started
+    stats = server.stats
+    metrics = {
+        "mode": "async" if async_writer else "sync",
+        "algorithm": algorithm,
+        "ticks": ticks,
+        "wall_seconds": wall,
+        "ticks_per_second": ticks / wall if wall > 0 else 0.0,
+        "mean_tick_seconds": float(latencies.mean()),
+        "p50_tick_seconds": percentile(latencies, 50),
+        "p99_tick_seconds": percentile(latencies, 99),
+        "max_tick_seconds": float(latencies.max()),
+        "checkpoints_completed": stats.checkpoints_completed,
+        "checkpoint_overlap_ticks": stats.checkpoint_overlap_ticks,
+        "checkpoint_overlap_ratio": stats.checkpoint_overlap_ticks / ticks,
+        "bytes_written": stats.bytes_written,
+        "writer_busy_seconds": stats.writer_busy_seconds,
+    }
+    server.close()
+    return metrics
+
+
+def measure_fleet(
+    scenario: BattleScenario,
+    directory: str,
+    algorithm: str,
+    seed: int,
+    ticks: int,
+    min_interval: int,
+    num_shards: int,
+) -> dict:
+    """Aggregate async throughput of ``num_shards`` concurrent shards."""
+    fleet = ShardFleet(
+        lambda index: KnightsArchersGame(scenario),
+        directory,
+        num_shards=num_shards,
+        algorithm=algorithm,
+        seed=seed,
+        async_writer=True,
+        min_checkpoint_interval_ticks=min_interval,
+    )
+    try:
+        report = fleet.run_ticks(ticks, parallel=True)
+    finally:
+        fleet.close()
+    checkpoints = sum(s.checkpoints_completed for s in report.shard_stats)
+    return {
+        "num_shards": num_shards,
+        "ticks_per_shard": ticks,
+        "wall_seconds": report.wall_seconds,
+        "ticks_per_second": report.ticks_per_second,
+        "checkpoints_completed": checkpoints,
+    }
+
+
+def check_recovery_determinism(
+    scenario: BattleScenario, root: str, seed: int, ticks: int
+) -> dict:
+    """Serial and threaded runs must recover to bit-identical state."""
+    outcomes = {}
+    for key in ALGORITHM_KEYS:
+        recovered = []
+        for mode, async_writer in (("sync", False), ("async", True)):
+            app = KnightsArchersGame(scenario)
+            directory = os.path.join(root, f"det-{key}-{mode}")
+            server = DurableGameServer(
+                app, directory, algorithm=key, seed=seed,
+                async_writer=async_writer,
+            )
+            server.run_ticks(ticks)
+            live = server.table.cells.copy()
+            server.crash()
+            report = RecoveryManager(app, directory, seed=seed).recover()
+            if not np.array_equal(report.table.cells, live):
+                raise SystemExit(
+                    f"{key} ({mode}): recovered state differs from the "
+                    "pre-crash live state"
+                )
+            recovered.append(report.table.cells)
+        outcomes[key] = bool(np.array_equal(recovered[0], recovered[1]))
+    return {
+        "algorithms": outcomes,
+        "all_bit_identical": all(outcomes.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: 2 shards, small geometry")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="largest fleet size to scale to (default 4)")
+    parser.add_argument("--ticks", type=int, default=300,
+                        help="ticks per measured run (default 300)")
+    parser.add_argument("--units", type=int, default=8192,
+                        help="game units per shard (default 8192)")
+    parser.add_argument("--algorithm", default="copy-on-update",
+                        choices=list(ALGORITHM_KEYS),
+                        help="algorithm for the latency/fleet measurements")
+    parser.add_argument("--min-checkpoint-interval", type=int, default=16,
+                        help="ticks between checkpoint starts (default 16; "
+                             "pins the checkpoint cadence so the sync and "
+                             "async modes are compared like for like)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output JSON path (default BENCH_engine.json)")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for durable files (default: temp)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.shards = min(args.shards, 2)
+        args.ticks = min(args.ticks, 60)
+        args.units = min(args.units, 2048)
+
+    scenario = BattleScenario(num_units=args.units)
+    results = {
+        "benchmark": "engine_io_pipeline",
+        "config": {
+            "smoke": args.smoke,
+            "units": args.units,
+            "ticks": args.ticks,
+            "algorithm": args.algorithm,
+            "min_checkpoint_interval_ticks": args.min_checkpoint_interval,
+            "max_shards": args.shards,
+            "seed": args.seed,
+        },
+    }
+
+    with tempfile.TemporaryDirectory(
+        prefix="repro-bench-engine-", dir=args.workdir
+    ) as root:
+        print(f"single shard ({args.units} units, {args.ticks} ticks, "
+              f"{args.algorithm}):")
+        single = {}
+        for mode, async_writer in (("sync", False), ("async", True)):
+            metrics = measure_single_shard(
+                scenario,
+                os.path.join(root, f"single-{mode}"),
+                args.algorithm,
+                args.seed,
+                args.ticks,
+                args.min_checkpoint_interval,
+                async_writer,
+            )
+            single[mode] = metrics
+            print(f"  {mode:5s}: {metrics['ticks_per_second']:8.1f} t/s  "
+                  f"mean {metrics['mean_tick_seconds'] * 1e3:7.3f} ms  "
+                  f"p99 {metrics['p99_tick_seconds'] * 1e3:7.3f} ms  "
+                  f"overlap {metrics['checkpoint_overlap_ratio']:.2f}  "
+                  f"ckpts {metrics['checkpoints_completed']}")
+        speedup = (
+            single["sync"]["mean_tick_seconds"]
+            / single["async"]["mean_tick_seconds"]
+            if single["async"]["mean_tick_seconds"] > 0
+            else 0.0
+        )
+        single["async_mean_latency_speedup"] = speedup
+        single["async_faster"] = (
+            single["async"]["mean_tick_seconds"]
+            < single["sync"]["mean_tick_seconds"]
+        )
+        results["single_shard"] = single
+        print(f"  async mean-latency speedup: {speedup:.2f}x")
+
+        print("fleet scaling (async writers):")
+        fleet_points = []
+        num_shards = 1
+        while num_shards <= args.shards:
+            point = measure_fleet(
+                scenario,
+                os.path.join(root, f"fleet-{num_shards}"),
+                args.algorithm,
+                args.seed,
+                args.ticks,
+                args.min_checkpoint_interval,
+                num_shards,
+            )
+            fleet_points.append(point)
+            print(f"  {num_shards} shard(s): "
+                  f"{point['ticks_per_second']:8.1f} t/s aggregate  "
+                  f"ckpts {point['checkpoints_completed']}")
+            num_shards *= 2
+        results["fleet"] = fleet_points
+
+        print("recovery determinism (serial vs threaded, all algorithms):")
+        determinism = check_recovery_determinism(
+            scenario, root, args.seed, max(20, args.ticks // 4)
+        )
+        results["recovery_determinism"] = determinism
+        for key, identical in determinism["algorithms"].items():
+            print(f"  {key:20s} {'bit-identical' if identical else 'DIFFERS'}")
+
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    if not results["single_shard"]["async_faster"]:
+        print("WARNING: async mean tick latency was not below the "
+              "synchronous baseline on this host", file=sys.stderr)
+        return 1
+    if not determinism["all_bit_identical"]:
+        print("ERROR: serial and threaded runs recovered different state",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,25 +4,35 @@ Unlike the analytic simulator, this package moves actual bytes: the
 :class:`~repro.engine.server.DurableGameServer` runs a deterministic
 :class:`~repro.engine.app.TickApplication` tick by tick, checkpointing its
 :class:`~repro.state.table.GameStateTable` to real files through any of the
-six algorithms, logging every tick to the logical
-:class:`~repro.storage.action_log.ActionLog`, and surviving crashes:
-:class:`~repro.engine.recovery.RecoveryManager` restores the newest
-consistent checkpoint and replays the log to the exact crash tick.
+six algorithms -- serially on the game thread, or overlapped with ticks by
+the :class:`~repro.engine.writer.AsyncCheckpointWriter` thread -- logging
+every tick to the logical :class:`~repro.storage.action_log.ActionLog`, and
+surviving crashes: :class:`~repro.engine.recovery.RecoveryManager` restores
+the newest consistent checkpoint and replays the log to the exact crash
+tick.  :class:`~repro.engine.fleet.ShardFleet` scales the same machinery to
+N concurrent shards.
 """
 
 from repro.engine.app import TickApplication, TickUpdatesPlan
 from repro.engine.executor import RealExecutor
+from repro.engine.fleet import FleetRunReport, ShardFleet
 from repro.engine.recovery import RecoveryManager, RecoveryReport
 from repro.engine.server import DurableGameServer
 from repro.engine.shard import MMOShard, ShardRecovery
+from repro.engine.writer import AsyncCheckpointWriter, CheckpointJob, WriterStats
 
 __all__ = [
+    "AsyncCheckpointWriter",
+    "CheckpointJob",
     "DurableGameServer",
+    "FleetRunReport",
     "MMOShard",
     "RealExecutor",
     "RecoveryManager",
     "RecoveryReport",
+    "ShardFleet",
     "ShardRecovery",
     "TickApplication",
     "TickUpdatesPlan",
+    "WriterStats",
 ]

@@ -7,15 +7,27 @@ executor, but instead of charging model costs it
 * copies live object payloads into a snapshot buffer (``Copy-To-Memory`` and
   the old-value saves of ``Handle-Update``), and
 * writes checkpoints to a real :class:`~repro.storage.DoubleBackupStore` or
-  :class:`~repro.storage.CheckpointLogStore`, draining a bounded number of
-  bytes per tick to emulate the asynchronous writer deterministically
-  (the threaded variant lives in :mod:`repro.validation`).
+  :class:`~repro.storage.CheckpointLogStore` -- either by draining a bounded
+  number of bytes per tick on the game thread (the deterministic serial
+  emulation), or, with ``async_writer=True``, by handing each checkpoint to
+  an :class:`~repro.engine.writer.AsyncCheckpointWriter` thread that overlaps
+  the I/O with subsequent ticks, as in the paper's Figure 1 architecture.
 
 The consistency argument mirrors the paper's: every object in the write set
 is emitted either from the snapshot buffer (if it was updated after the cut;
 its pre-update value was saved on first touch) or from the live table (if it
 has not been updated since the cut, in which case the live value *is* the cut
 value).
+
+In asynchronous mode the same argument must hold across threads, and does so
+through a :class:`~repro.state.dirty.StripeLockSet`: ``Handle-Update`` saves
+an object's old value and sets its snapshot bit under the object's stripe
+*before* the update lands, while the writer reads the snapshot bit and then
+snapshot-or-live payload under the same stripe.  If the writer observes the
+bit unset, the saving (and hence the update) of that object cannot complete
+until the writer releases the stripe, so the live value it reads is still the
+cut value; if it observes the bit set, the saved snapshot row is used and any
+torn live read is discarded.
 """
 
 from __future__ import annotations
@@ -27,7 +39,13 @@ import numpy as np
 
 from repro.core.framework import SubroutineExecutor
 from repro.core.plan import CheckpointPlan, UpdateEffects
+from repro.engine.writer import (
+    DEFAULT_CHUNK_OBJECTS,
+    AsyncCheckpointWriter,
+    CheckpointJob,
+)
 from repro.errors import EngineError
+from repro.state.dirty import StripeLockSet
 from repro.state.table import GameStateTable
 from repro.storage.checkpoint_log import CheckpointLogStore
 from repro.storage.double_backup import DoubleBackupStore
@@ -43,6 +61,9 @@ class RealExecutor(SubroutineExecutor):
         table: GameStateTable,
         store: StoreType,
         writer_bytes_per_tick: Optional[int] = None,
+        async_writer: bool = False,
+        num_stripes: int = 64,
+        writer_chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
     ) -> None:
         geometry = table.geometry
         if store.geometry != geometry:
@@ -65,6 +86,16 @@ class RealExecutor(SubroutineExecutor):
         )
         self._snapshot_mask = np.zeros(num_objects, dtype=bool)
         self._all_ids = np.arange(num_objects, dtype=np.int64)
+        if async_writer:
+            self._locks: Optional[StripeLockSet] = StripeLockSet(
+                num_objects, num_stripes
+            )
+            self._writer: Optional[AsyncCheckpointWriter] = AsyncCheckpointWriter(
+                store, chunk_objects=writer_chunk_objects
+            )
+        else:
+            self._locks = None
+            self._writer = None
         # In-flight write task.
         self._task_ids: Optional[np.ndarray] = None
         self._task_position = 0
@@ -74,13 +105,55 @@ class RealExecutor(SubroutineExecutor):
         # Accounting exposed to the server.
         self.sync_copy_seconds = 0.0
         self.handle_update_seconds = 0.0
-        self.bytes_written = 0
-        self.checkpoints_committed = 0
+        self._serial_bytes_written = 0
+        self._serial_checkpoints_committed = 0
+        self._last_committed_tick: Optional[int] = None
 
     @property
     def store(self) -> StoreType:
         """The stable-storage structure checkpoints are written to."""
         return self._store
+
+    @property
+    def writer(self) -> Optional[AsyncCheckpointWriter]:
+        """The asynchronous writer thread, or None in serial mode."""
+        return self._writer
+
+    @property
+    def bytes_written(self) -> int:
+        """Checkpoint bytes written so far, across both writer modes."""
+        total = self._serial_bytes_written
+        if self._writer is not None:
+            total += self._writer.stats().bytes_written
+        return total
+
+    @property
+    def checkpoints_committed(self) -> int:
+        """Checkpoints committed so far, across both writer modes."""
+        total = self._serial_checkpoints_committed
+        if self._writer is not None:
+            total += self._writer.stats().jobs_completed
+        return total
+
+    @property
+    def writer_busy_seconds(self) -> float:
+        """Seconds the asynchronous writer thread spent inside checkpoints."""
+        if self._writer is None:
+            return 0.0
+        return self._writer.stats().busy_seconds
+
+    @property
+    def last_committed_tick(self) -> Optional[int]:
+        """Cut tick of the newest committed checkpoint, tracked in memory.
+
+        In asynchronous mode the store headers belong to the writer thread,
+        so this tracked value is the only race-free way for the game thread
+        to learn the newest durable cut.
+        """
+        if self._writer is not None:
+            committed = self._writer.last_committed
+            return None if committed is None else committed[1]
+        return self._last_committed_tick
 
     def set_current_tick(self, tick: int) -> None:
         """Tell the executor which tick is ending (the checkpoint cut)."""
@@ -107,11 +180,6 @@ class RealExecutor(SubroutineExecutor):
         if self._task_ids is not None and not self._task_committed:
             raise EngineError("previous checkpoint write still in flight")
         epoch = plan.checkpoint_index + 1
-        if isinstance(self._store, DoubleBackupStore):
-            backup_index = plan.checkpoint_index % 2
-            self._store.begin_checkpoint(backup_index, epoch)
-        else:
-            self._store.begin_checkpoint(epoch, plan.is_full_dump)
         if plan.write_ids is None:
             ids = self._all_ids
         else:
@@ -122,11 +190,41 @@ class RealExecutor(SubroutineExecutor):
         # The checkpoint represents the state at the tick ending now -- that
         # cut tick, not the later commit-time tick, is where replay resumes.
         self._task_cut_tick = self._current_tick
+        if self._writer is not None:
+            backup_index = (
+                plan.checkpoint_index % 2
+                if isinstance(self._store, DoubleBackupStore)
+                else None
+            )
+            self._writer.submit(
+                CheckpointJob(
+                    object_ids=ids,
+                    epoch=epoch,
+                    cut_tick=self._task_cut_tick,
+                    source=self,
+                    backup_index=backup_index,
+                    is_full_dump=plan.is_full_dump,
+                )
+            )
+            return
+        if isinstance(self._store, DoubleBackupStore):
+            backup_index = plan.checkpoint_index % 2
+            self._store.begin_checkpoint(backup_index, epoch)
+        else:
+            self._store.begin_checkpoint(epoch, plan.is_full_dump)
         if ids.size == 0:
             self._commit()
 
     def stable_write_finished(self) -> bool:
-        return self._task_ids is None or self._task_committed
+        if self._task_ids is None or self._task_committed:
+            return True
+        if self._writer is not None:
+            self._writer.check()
+            if self._writer.idle:
+                self._task_committed = True
+                return True
+            return False
+        return False
 
     def handle_updates(self, effects: UpdateEffects) -> float:
         started = time.perf_counter()
@@ -134,10 +232,18 @@ class RealExecutor(SubroutineExecutor):
         if ids.size:
             # Save old values only for objects not already snapshotted this
             # checkpoint -- each object is copied at most once per checkpoint.
+            # The mask is mutated only on this (game) thread, so the unlocked
+            # read is safe; the save itself happens under the objects' stripes
+            # whenever the writer thread may be reading them concurrently.
             fresh = ids[~self._snapshot_mask[ids]]
             if fresh.size:
-                self._snapshot[fresh] = self._table.read_objects(fresh)
-                self._snapshot_mask[fresh] = True
+                if self._writer is not None and not self._writer.idle:
+                    with self._locks.locked(fresh):
+                        self._snapshot[fresh] = self._table.read_objects(fresh)
+                        self._snapshot_mask[fresh] = True
+                else:
+                    self._snapshot[fresh] = self._table.read_objects(fresh)
+                    self._snapshot_mask[fresh] = True
         elapsed = time.perf_counter() - started
         self.handle_update_seconds += elapsed
         return elapsed
@@ -153,7 +259,13 @@ class RealExecutor(SubroutineExecutor):
         the executor's per-tick default applies (unbounded if that is None).
         The server calls this once per tick, standing in for the paper's
         asynchronous writer thread.
+
+        In asynchronous mode the writer thread makes its own progress; the
+        call only surfaces any pending writer failure onto the game thread.
         """
+        if self._writer is not None:
+            self._writer.check()
+            return 0
         if self._task_ids is None or self._task_committed:
             return 0
         if budget_bytes is None:
@@ -172,7 +284,7 @@ class RealExecutor(SubroutineExecutor):
             self._store.append_objects(chunk, payloads)
         self._task_position += count
         written = count * object_bytes
-        self.bytes_written += written
+        self._serial_bytes_written += written
         if self._task_position >= self._task_ids.size:
             self._commit()
         return written
@@ -185,7 +297,32 @@ class RealExecutor(SubroutineExecutor):
             payloads[saved] = self._snapshot[ids[saved]]
         return payloads.tobytes()
 
+    def read_payloads(self, object_ids: np.ndarray) -> bytes:
+        """Cut-consistent payloads for the writer thread (PayloadSource).
+
+        Holds the objects' stripes across the mask read and the gather, so a
+        concurrent ``Handle-Update`` of any of these objects either completed
+        its old-value save before we looked (we read the snapshot) or is
+        still waiting for the stripes (the live value is the cut value).
+        """
+        with self._locks.locked(object_ids):
+            return self._gather_payloads(object_ids)
+
     def _commit(self) -> None:
         self._store.commit_checkpoint(self._task_cut_tick)
         self._task_committed = True
-        self.checkpoints_committed += 1
+        self._serial_checkpoints_committed += 1
+        self._last_committed_tick = self._task_cut_tick
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop the asynchronous writer thread (no-op in serial mode).
+
+        ``wait=True`` lets an in-flight checkpoint commit first; ``wait=False``
+        abandons it at the next chunk boundary (crash semantics).
+        """
+        if self._writer is not None:
+            self._writer.close(timeout=timeout, wait=wait)

@@ -1,0 +1,199 @@
+"""A fleet of MMO shards ticking concurrently, one writer thread each.
+
+The paper's deployment unit is the shard: "the game world is partitioned
+into mostly-independent areas" each served by its own game server (Section
+1).  :class:`ShardFleet` runs ``N`` :class:`~repro.engine.shard.MMOShard`
+instances against one root directory, each shard with its own durable state,
+its own deterministic seed, and -- with ``async_writer=True`` -- its own
+:class:`~repro.engine.writer.AsyncCheckpointWriter` thread, so a fleet of
+``N`` shards runs up to ``2 N`` threads with checkpoint I/O overlapping game
+ticks in every one of them.
+
+The fleet is the unit the throughput benchmark drives
+(``benchmarks/bench_engine.py``): :meth:`run_ticks` advances every shard by
+the same number of ticks, either on one thread (``parallel=False``, the
+deterministic baseline) or on a thread per shard, and reports aggregate
+ticks/second.  Crash and recovery also operate fleet-wide, shard by shard.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+from repro.engine.app import TickApplication
+from repro.engine.server import ServerStats
+from repro.engine.shard import MMOShard, ShardRecovery
+from repro.errors import EngineError
+
+#: Subdirectory name of shard ``i`` under the fleet root.
+SHARD_DIRECTORY_FORMAT = "shard-{index:02d}"
+
+
+def shard_directory(root: Union[str, os.PathLike], index: int) -> str:
+    """Directory of shard ``index`` under the fleet root."""
+    return os.path.join(os.fspath(root), SHARD_DIRECTORY_FORMAT.format(index=index))
+
+
+@dataclass(frozen=True)
+class FleetRunReport:
+    """Aggregate outcome of one :meth:`ShardFleet.run_ticks` call."""
+
+    num_shards: int
+    ticks_per_shard: int
+    wall_seconds: float
+    #: Sum of ticks executed across all shards divided by wall time.
+    ticks_per_second: float
+    #: Each shard's lifetime stats, snapshotted after the run.
+    shard_stats: List[ServerStats]
+
+
+class ShardFleet:
+    """Runs N shards of the same game concurrently under one root."""
+
+    def __init__(
+        self,
+        app_factory: Callable[[int], TickApplication],
+        directory: Union[str, os.PathLike],
+        num_shards: int,
+        algorithm: str = "copy-on-update",
+        seed: int = 0,
+        **shard_kwargs,
+    ) -> None:
+        if num_shards <= 0:
+            raise EngineError(f"num_shards must be positive, got {num_shards}")
+        self._directory = os.fspath(directory)
+        self._num_shards = num_shards
+        self._shards: List[MMOShard] = []
+        try:
+            for index in range(num_shards):
+                self._shards.append(
+                    MMOShard(
+                        app_factory(index),
+                        shard_directory(self._directory, index),
+                        algorithm=algorithm,
+                        seed=seed + index,
+                        **shard_kwargs,
+                    )
+                )
+        except BaseException:
+            for shard in self._shards:
+                shard.close()
+            raise
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> str:
+        """Root directory holding one subdirectory per shard."""
+        return self._directory
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the fleet."""
+        return self._num_shards
+
+    @property
+    def shards(self) -> List[MMOShard]:
+        """The live shards, in index order."""
+        return list(self._shards)
+
+    # ------------------------------------------------------------------
+    # Driving the fleet
+    # ------------------------------------------------------------------
+
+    def run_ticks(self, count: int, parallel: bool = True) -> FleetRunReport:
+        """Advance every shard by ``count`` ticks.
+
+        With ``parallel=True`` each shard runs on its own thread (the fleet's
+        deployment shape); otherwise the shards run one after another on the
+        calling thread.  The first shard failure is re-raised after all
+        threads have stopped.
+        """
+        if count < 0:
+            raise EngineError(f"count must be non-negative, got {count}")
+        started = time.perf_counter()
+        if parallel and self._num_shards > 1:
+            errors: List[Optional[BaseException]] = [None] * self._num_shards
+
+            def drive(index: int, shard: MMOShard) -> None:
+                try:
+                    shard.run_ticks(count)
+                except BaseException as error:
+                    errors[index] = error
+
+            threads = [
+                threading.Thread(
+                    target=drive,
+                    args=(index, shard),
+                    name=f"repro-shard-{index:02d}",
+                )
+                for index, shard in enumerate(self._shards)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for error in errors:
+                if error is not None:
+                    raise error
+        else:
+            for shard in self._shards:
+                shard.run_ticks(count)
+        wall = time.perf_counter() - started
+        total_ticks = count * self._num_shards
+        return FleetRunReport(
+            num_shards=self._num_shards,
+            ticks_per_shard=count,
+            wall_seconds=wall,
+            ticks_per_second=total_ticks / wall if wall > 0 else 0.0,
+            shard_stats=[shard.game.stats for shard in self._shards],
+        )
+
+    # ------------------------------------------------------------------
+    # Failure and shutdown
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop every shard (writers abandoned, files closed)."""
+        if self._crashed:
+            raise EngineError("fleet has crashed; recover it instead")
+        self._crashed = True
+        for shard in self._shards:
+            shard.crash()
+
+    def close(self) -> None:
+        """Orderly shutdown of every shard."""
+        if not self._crashed:
+            for shard in self._shards:
+                shard.close()
+
+    def __enter__(self) -> "ShardFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def recover(
+        cls,
+        app_factory: Callable[[int], TickApplication],
+        directory: Union[str, os.PathLike],
+        num_shards: int,
+        seed: int = 0,
+    ) -> List[ShardRecovery]:
+        """Recover every shard of a crashed fleet, in index order."""
+        return [
+            MMOShard.recover(
+                app_factory(index),
+                shard_directory(directory, index),
+                seed=seed + index,
+            )
+            for index in range(num_shards)
+        ]

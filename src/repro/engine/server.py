@@ -10,7 +10,10 @@ to :meth:`run_tick`:
    (saving old values where the algorithm requires it);
 3. applies the updates to the in-memory table;
 4. durably appends the tick's logical-log record;
-5. lets the emulated asynchronous writer drain some checkpoint bytes; and
+5. lets the checkpoint writer make progress -- either draining bytes on the
+   game thread (serial mode) or just surfacing errors from the
+   :class:`~repro.engine.writer.AsyncCheckpointWriter` thread that overlaps
+   the I/O with game ticks (``async_writer=True``); and
 6. runs the framework's end-of-tick boundary, finishing and starting
    checkpoints.
 
@@ -32,6 +35,7 @@ from repro.core.plan import DiskLayout
 from repro.core.registry import make_policy
 from repro.engine.app import TickApplication
 from repro.engine.executor import RealExecutor
+from repro.engine.writer import DEFAULT_CHUNK_OBJECTS
 from repro.errors import EngineError
 from repro.state.table import GameStateTable
 from repro.storage.action_log import ActionLog, TickRecord
@@ -50,6 +54,10 @@ class ServerStats:
     sync_copy_seconds: float = 0.0
     handle_update_seconds: float = 0.0
     bytes_written: int = 0
+    #: Seconds the asynchronous writer thread spent inside checkpoints.
+    writer_busy_seconds: float = 0.0
+    #: Ticks that ran while a checkpoint write was still in flight.
+    checkpoint_overlap_ticks: int = 0
     #: Objects written per completed checkpoint, in completion order.
     checkpoint_write_counts: List[int] = field(default_factory=list)
 
@@ -66,7 +74,11 @@ class DurableGameServer:
         full_dump_period: int = 9,
         writer_bytes_per_tick: Optional[int] = None,
         sync: bool = False,
+        fsync_policy: Optional[str] = None,
         min_checkpoint_interval_ticks: int = 1,
+        async_writer: bool = False,
+        num_stripes: int = 64,
+        writer_chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
     ) -> None:
         if min_checkpoint_interval_ticks < 1:
             raise EngineError(
@@ -87,17 +99,27 @@ class DurableGameServer:
             algorithm, geometry.num_objects, full_dump_period=full_dump_period
         )
         if self._policy.layout is DiskLayout.DOUBLE_BACKUP:
-            self._store = DoubleBackupStore(self._directory, geometry, sync=sync)
+            self._store = DoubleBackupStore(
+                self._directory, geometry, sync=sync, fsync_policy=fsync_policy
+            )
         else:
-            self._store = CheckpointLogStore(self._directory, geometry, sync=sync)
+            self._store = CheckpointLogStore(
+                self._directory, geometry, sync=sync, fsync_policy=fsync_policy
+            )
         if writer_bytes_per_tick is None:
             # Default: spread a full-state write over ~16 ticks, echoing the
             # paper's regime where checkpoints span many ticks.
             writer_bytes_per_tick = max(
                 geometry.object_bytes, geometry.checkpoint_bytes // 16
             )
+        self._async_writer = bool(async_writer)
         self._executor = RealExecutor(
-            self._table, self._store, writer_bytes_per_tick=writer_bytes_per_tick
+            self._table,
+            self._store,
+            writer_bytes_per_tick=writer_bytes_per_tick,
+            async_writer=async_writer,
+            num_stripes=num_stripes,
+            writer_chunk_objects=writer_chunk_objects,
         )
         self._framework = CheckpointFramework(self._policy, self._executor)
         self._action_log = ActionLog(self._directory, sync=sync)
@@ -137,8 +159,20 @@ class DurableGameServer:
         return self._next_tick
 
     @property
+    def async_writer(self) -> bool:
+        """True when checkpoints are flushed by the writer thread."""
+        return self._async_writer
+
+    @property
     def last_committed_checkpoint_tick(self) -> Optional[int]:
-        """Cut tick of the newest durable checkpoint, if any."""
+        """Cut tick of the newest durable checkpoint, if any.
+
+        In asynchronous mode the store's headers belong to the writer thread,
+        so the executor's in-memory tracking is consulted instead of the
+        files.
+        """
+        if self._async_writer:
+            return self._executor.last_committed_tick
         try:
             if isinstance(self._store, DoubleBackupStore):
                 return self._store.latest_consistent().tick
@@ -216,6 +250,8 @@ class DurableGameServer:
         )
 
         # Asynchronous writer's share of this tick, then the tick boundary.
+        if not self._executor.stable_write_finished():
+            self.stats.checkpoint_overlap_ticks += 1
         self._executor.drain()
         self._executor.set_current_tick(tick)
         allow_start = (
@@ -238,6 +274,7 @@ class DurableGameServer:
         self.stats.sync_copy_seconds = self._executor.sync_copy_seconds
         self.stats.handle_update_seconds = self._executor.handle_update_seconds
         self.stats.bytes_written = self._executor.bytes_written
+        self.stats.writer_busy_seconds = self._executor.writer_busy_seconds
 
         self._next_tick += 1
         return plan.update_count
@@ -255,11 +292,16 @@ class DurableGameServer:
         """Fail-stop: abandon all in-memory state mid-flight.
 
         Whatever reached the files stays; the in-progress checkpoint (if
-        any) is left uncommitted, exactly as a process kill would.
+        any) is left uncommitted, exactly as a process kill would.  In
+        asynchronous mode the writer thread is told to abandon its job at
+        the next chunk boundary and joined before the files close; a pending
+        writer error (e.g. injected faults) is deliberately *not* re-raised
+        -- the crash supersedes it.
         """
         if self._closed:
             raise EngineError("server is closed")
         self._crashed = True
+        self._executor.shutdown(wait=False)
         self._store.close()
         self._action_log.close()
 
@@ -268,6 +310,7 @@ class DurableGameServer:
         if self._closed:
             return
         if not self._crashed:
+            self._executor.shutdown(wait=False)
             self._store.close()
             self._action_log.close()
         self._closed = True

@@ -48,6 +48,10 @@ class EngineError(ReproError):
     """The durable game server was misused (bad lifecycle, double crash...)."""
 
 
+class CheckpointWriterError(EngineError):
+    """The asynchronous checkpoint writer thread failed or got stuck."""
+
+
 class ValidationError(ReproError):
     """The real (threaded) validation implementation failed."""
 

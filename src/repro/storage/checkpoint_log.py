@@ -24,12 +24,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.config import StateGeometry
 from repro.errors import NoConsistentCheckpointError, StorageError
+from repro.storage.double_backup import resolve_fsync_policy
 from repro.storage.layout import (
     RECORD_CHECKPOINT_BEGIN,
     RECORD_CHECKPOINT_COMMIT,
@@ -37,9 +38,11 @@ from repro.storage.layout import (
     RECORD_OBJECTS,
     pack_geometry,
     pack_record,
+    pack_record_parts,
     unpack_geometry,
     unpack_record_header,
     verify_record,
+    write_all,
 )
 
 _GEOMETRY_RECORD = 0  # pseudo-epoch used by the leading geometry record
@@ -64,15 +67,22 @@ class CheckpointLogStore:
 
     FILE_NAME = "checkpoints.log"
 
+    #: Default streaming granularity for :meth:`compact` rewrites.
+    COMPACT_CHUNK_BYTES = 1 << 20
+
     def __init__(
         self,
         directory: Union[str, os.PathLike],
         geometry: StateGeometry,
         sync: bool = False,
+        fsync_policy: Optional[str] = None,
     ) -> None:
         self._directory = os.fspath(directory)
         self._geometry = geometry
-        self._sync = sync
+        self._fsync = resolve_fsync_policy(sync, fsync_policy)
+        #: Test hook: called before every object append; raising from it
+        #: emulates a writer killed mid-flush (fault injection).
+        self.write_fault_hook: Optional[Callable[[], None]] = None
         os.makedirs(self._directory, exist_ok=True)
         self._path = os.path.join(self._directory, self.FILE_NAME)
         fresh = not os.path.exists(self._path) or os.path.getsize(self._path) == 0
@@ -110,11 +120,27 @@ class CheckpointLogStore:
         """Path of the log file."""
         return self._path
 
-    def _append(self, data: bytes) -> None:
+    @property
+    def fsync_policy(self) -> str:
+        """Active durability policy (``never`` / ``commit`` / ``always``)."""
+        return self._fsync
+
+    def _append(self, data: bytes, committing: bool = False) -> None:
         self._handle.seek(0, os.SEEK_END)
         self._handle.write(data)
         self._handle.flush()
-        if self._sync:
+        if self._fsync == "always" or (committing and self._fsync == "commit"):
+            os.fsync(self._handle.fileno())
+
+    def _append_parts(self, parts: List) -> None:
+        """Gathered append of a framed record without concatenating it.
+
+        The handle is opened in append mode, so after a flush the raw fd
+        lands all parts at the end of the file in one ``writev``.
+        """
+        self._handle.flush()
+        write_all(self._handle.fileno(), parts)
+        if self._fsync == "always":
             os.fsync(self._handle.fileno())
 
     def _verify_geometry(self) -> None:
@@ -152,24 +178,37 @@ class CheckpointLogStore:
         )
         self._writing_epoch = epoch
 
-    def append_objects(self, object_ids: np.ndarray, payloads: bytes) -> None:
-        """Append one run of object versions to the in-progress checkpoint."""
+    def append_objects(self, object_ids: np.ndarray, payloads) -> None:
+        """Append one run of object versions to the in-progress checkpoint.
+
+        ``payloads`` is any contiguous bytes-like buffer holding
+        ``len(object_ids)`` back-to-back object images.  Header, ids, and
+        payload go down in one gathered write -- the record is never
+        assembled in memory.
+        """
         if self._writing_epoch is None:
             raise StorageError("append_objects outside begin/commit")
+        if self.write_fault_hook is not None:
+            self.write_fault_hook()
         object_ids = np.ascontiguousarray(object_ids, dtype=np.int64)
         object_bytes = self._geometry.object_bytes
-        if len(payloads) != object_ids.size * object_bytes:
+        payload_view = memoryview(payloads).cast("B")
+        if payload_view.nbytes != object_ids.size * object_bytes:
             raise StorageError(
-                f"payload length {len(payloads)} does not match "
+                f"payload length {payload_view.nbytes} does not match "
                 f"{object_ids.size} objects of {object_bytes} bytes"
             )
         if object_ids.size == 0:
             return
         if object_ids.min() < 0 or object_ids.max() >= self._geometry.num_objects:
             raise StorageError("object id out of range")
-        body = object_ids.tobytes() + payloads
-        self._append(
-            pack_record(RECORD_OBJECTS, self._writing_epoch, object_ids.size, body)
+        self._append_parts(
+            pack_record_parts(
+                RECORD_OBJECTS,
+                self._writing_epoch,
+                object_ids.size,
+                [object_ids, payload_view],
+            )
         )
 
     def commit_checkpoint(self, tick: int) -> None:
@@ -177,7 +216,8 @@ class CheckpointLogStore:
         if self._writing_epoch is None:
             raise StorageError("commit_checkpoint without begin_checkpoint")
         self._append(
-            pack_record(RECORD_CHECKPOINT_COMMIT, self._writing_epoch, tick, b"")
+            pack_record(RECORD_CHECKPOINT_COMMIT, self._writing_epoch, tick, b""),
+            committing=True,
         )
         self._writing_epoch = None
 
@@ -317,17 +357,27 @@ class CheckpointLogStore:
     # Compaction
     # ------------------------------------------------------------------
 
-    def compact(self) -> int:
+    def compact(self, chunk_bytes: Optional[int] = None) -> int:
         """Drop log prefix made redundant by the newest committed full dump.
 
         Everything before that full dump's begin record can never be read by
         recovery again (the backwards scan stops at the full dump), so it is
-        rewritten away.  Returns the number of bytes reclaimed.  No-op (0)
-        when there is no committed full dump or no in-progress-free prefix
-        to drop.  Must not be called while a checkpoint is being written.
+        rewritten away.  The surviving tail is streamed into the replacement
+        file in bounded ``chunk_bytes`` pieces (default
+        :attr:`COMPACT_CHUNK_BYTES`), so compaction never materializes the
+        tail in memory no matter how large the log has grown.  Returns the
+        number of bytes reclaimed.  No-op (0) when there is no committed full
+        dump or no in-progress-free prefix to drop.  Must not be called while
+        a checkpoint is being written.
         """
         if self._writing_epoch is not None:
             raise StorageError("cannot compact while a checkpoint is in progress")
+        if chunk_bytes is None:
+            chunk_bytes = self.COMPACT_CHUNK_BYTES
+        if chunk_bytes <= 0:
+            raise StorageError(
+                f"chunk_bytes must be positive, got {chunk_bytes}"
+            )
         checkpoints = self._scan()
         full_dumps = [c for c in checkpoints if c.committed and c.is_full_dump]
         if not full_dumps:
@@ -337,8 +387,6 @@ class CheckpointLogStore:
             return 0
         # Rewrite: geometry record + everything from the cut onwards, via a
         # temp file swapped in atomically.
-        self._handle.seek(cut)
-        tail = self._handle.read()
         temp_path = self._path + ".compact"
         with open(temp_path, "wb") as temp:
             temp.write(
@@ -349,9 +397,14 @@ class CheckpointLogStore:
                     pack_geometry(self._geometry),
                 )
             )
-            temp.write(tail)
+            self._handle.seek(cut)
+            while True:
+                chunk = self._handle.read(chunk_bytes)
+                if not chunk:
+                    break
+                temp.write(chunk)
             temp.flush()
-            if self._sync:
+            if self._fsync != "never":
                 os.fsync(temp.fileno())
         old_size = self.size_bytes()
         self._handle.close()

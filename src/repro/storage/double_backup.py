@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -38,7 +38,24 @@ from repro.storage.layout import (
     STATE_EMPTY,
     STATE_IN_PROGRESS,
     BackupHeader,
+    pwrite_all,
 )
+
+#: Durability policies: ``never`` trusts the OS page cache, ``commit`` forces
+#: the data region and the COMPLETE header down at each checkpoint commit,
+#: ``always`` additionally fsyncs every header transition.
+FSYNC_POLICIES = ("never", "commit", "always")
+
+
+def resolve_fsync_policy(sync: bool, fsync_policy: Optional[str]) -> str:
+    """Merge the legacy ``sync`` flag with the explicit policy name."""
+    if fsync_policy is None:
+        return "always" if sync else "never"
+    if fsync_policy not in FSYNC_POLICIES:
+        raise StorageError(
+            f"fsync_policy must be one of {FSYNC_POLICIES}, got {fsync_policy!r}"
+        )
+    return fsync_policy
 
 
 @dataclass(frozen=True)
@@ -60,10 +77,14 @@ class DoubleBackupStore:
         directory: Union[str, os.PathLike],
         geometry: StateGeometry,
         sync: bool = False,
+        fsync_policy: Optional[str] = None,
     ) -> None:
         self._directory = os.fspath(directory)
         self._geometry = geometry
-        self._sync = sync
+        self._fsync = resolve_fsync_policy(sync, fsync_policy)
+        #: Test hook: called before every object write batch; raising from it
+        #: emulates a writer killed mid-flush (fault injection).
+        self.write_fault_hook: Optional[Callable[[], None]] = None
         self._data_bytes = geometry.num_objects * geometry.object_bytes
         os.makedirs(self._directory, exist_ok=True)
         self._files = []
@@ -112,6 +133,11 @@ class DoubleBackupStore:
         """Directory holding the two backup files."""
         return self._directory
 
+    @property
+    def fsync_policy(self) -> str:
+        """Active durability policy (``never`` / ``commit`` / ``always``)."""
+        return self._fsync
+
     # ------------------------------------------------------------------
     # Header access
     # ------------------------------------------------------------------
@@ -127,12 +153,14 @@ class DoubleBackupStore:
             )
         return header
 
-    def _write_header(self, backup_index: int, header: BackupHeader) -> None:
+    def _write_header(
+        self, backup_index: int, header: BackupHeader, committing: bool = False
+    ) -> None:
         handle = self._files[backup_index]
         handle.seek(0)
         handle.write(header.pack())
         handle.flush()
-        if self._sync:
+        if self._fsync == "always" or (committing and self._fsync == "commit"):
             os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
@@ -169,6 +197,8 @@ class DoubleBackupStore:
         """
         if self._writing_to is None:
             raise StorageError("write_objects outside begin/commit")
+        if self.write_fault_hook is not None:
+            self.write_fault_hook()
         object_ids = np.asarray(object_ids, dtype=np.int64)
         object_bytes = self._geometry.object_bytes
         if len(payloads) != object_ids.size * object_bytes:
@@ -198,11 +228,14 @@ class DoubleBackupStore:
             np.concatenate(([True], np.diff(sorted_ids) > 1))
         )
         run_stops = np.concatenate((run_starts[1:], [sorted_ids.size]))
+        # Each coalesced run is one positioned vectored write straight to the
+        # fd -- no seek, and no flattening .tobytes() copy of the payload.
         handle = self._files[self._writing_to]
+        handle.flush()
+        fd = handle.fileno()
         for start, stop in zip(run_starts, run_stops):
             offset = BACKUP_HEADER_BYTES + int(sorted_ids[start]) * object_bytes
-            handle.seek(offset)
-            handle.write(sorted_payloads[start:stop].tobytes())
+            pwrite_all(fd, sorted_payloads[start:stop], offset)
 
     def commit_checkpoint(self, tick: int) -> None:
         """Flush and stamp the in-progress backup ``COMPLETE`` at ``tick``."""
@@ -210,7 +243,8 @@ class DoubleBackupStore:
             raise StorageError("commit_checkpoint without begin_checkpoint")
         handle = self._files[self._writing_to]
         handle.flush()
-        if self._sync:
+        if self._fsync != "never":
+            # The data region must be durable before the COMPLETE stamp.
             os.fsync(handle.fileno())
         header = BackupHeader(
             state=STATE_COMPLETE,
@@ -218,7 +252,7 @@ class DoubleBackupStore:
             tick=tick,
             geometry=self._geometry,
         )
-        self._write_header(self._writing_to, header)
+        self._write_header(self._writing_to, header, committing=True)
         self._writing_to = None
 
     def abort_checkpoint(self) -> None:

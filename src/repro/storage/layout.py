@@ -6,9 +6,11 @@ CRC-32 so recovery can distinguish a torn write from valid data.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.config import StateGeometry
 from repro.errors import CorruptCheckpointError
@@ -150,3 +152,82 @@ def unpack_record_header(data: bytes):
 def verify_record(header_bytes: bytes, payload: bytes, checksum: int) -> bool:
     """True if the payload matches the CRC recorded in the header."""
     return crc32(header_bytes[:-4] + payload) == checksum
+
+
+def pack_record_parts(
+    record_type: int, a: int, b: int, parts: Sequence
+) -> List:
+    """Frame one record whose payload is scattered across ``parts``.
+
+    Equivalent to ``pack_record(record_type, a, b, b"".join(parts))`` but
+    never concatenates: the CRC is computed incrementally over the parts
+    (each a bytes-like buffer) and the framed record is returned as
+    ``[header, *parts]``, ready for a single gathered ``os.writev``.
+    """
+    views = [memoryview(part).cast("B") for part in parts]
+    length = sum(view.nbytes for view in views)
+    header = _RECORD_STRUCT.pack(MAGIC, record_type, a, b, length, 0)
+    checksum = zlib.crc32(header[:-4])
+    for view in views:
+        checksum = zlib.crc32(view, checksum)
+    header = _RECORD_STRUCT.pack(
+        MAGIC, record_type, a, b, length, checksum & 0xFFFFFFFF
+    )
+    return [header, *views]
+
+
+# ---------------------------------------------------------------------------
+# Raw-fd batched I/O: positioned and gathered writes with partial-write
+# handling, falling back to plain write loops where the syscalls are missing.
+# ---------------------------------------------------------------------------
+
+HAS_PWRITEV = hasattr(os, "pwritev")
+HAS_WRITEV = hasattr(os, "writev")
+
+
+def pwrite_all(fd: int, buffer, offset: int) -> int:
+    """Positioned write of one contiguous buffer, retrying partial writes.
+
+    Uses ``os.pwritev`` (one syscall, no seek, no flattening copy) when the
+    platform has it; returns the number of bytes written.
+    """
+    view = memoryview(buffer).cast("B")
+    total = view.nbytes
+    while view.nbytes:
+        if HAS_PWRITEV:
+            written = os.pwritev(fd, [view], offset)
+        else:  # pragma: no cover - non-POSIX fallback
+            written = os.pwrite(fd, view, offset)
+        view = view[written:]
+        offset += written
+    return total
+
+
+def write_all(fd: int, buffers: Sequence) -> int:
+    """Gathered sequential write of ``buffers`` at the fd's offset.
+
+    One ``os.writev`` syscall in the common case (append-mode fds land the
+    whole record at the end of the file in a single operation), with a
+    retry loop for partial writes.  Returns the number of bytes written.
+    """
+    views = [memoryview(buffer).cast("B") for buffer in buffers]
+    total = sum(view.nbytes for view in views)
+    if not HAS_WRITEV:  # pragma: no cover - non-POSIX fallback
+        for view in views:
+            os.write(fd, view)
+        return total
+    remaining = total
+    while remaining:
+        written = os.writev(fd, views)
+        remaining -= written
+        if remaining:
+            # Drop fully-written views, trim the partially-written one.
+            trimmed = []
+            for view in views:
+                if written >= view.nbytes:
+                    written -= view.nbytes
+                    continue
+                trimmed.append(view[written:] if written else view)
+                written = 0
+            views = trimmed
+    return total

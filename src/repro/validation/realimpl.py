@@ -6,17 +6,18 @@ This is the Python analogue of the paper's Section 6 C++ validation setup:
   standing in for game logic), *update* (applying the trace's cell updates
   with dirty-bit maintenance and copy-on-update old-value saves), and *sleep*
   (filling the remainder so the game ticks at the configured rate);
-* an **asynchronous writer thread** flushes consistent checkpoints to a real
-  :class:`~repro.storage.DoubleBackupStore` on disk, reading shared state
-  under striped locks for Copy-on-Update and reading the private snapshot
-  buffer for Naive-Snapshot.
+* the shared :class:`~repro.engine.writer.AsyncCheckpointWriter` thread --
+  the same one the durable engine runs -- flushes consistent checkpoints to
+  a real :class:`~repro.storage.DoubleBackupStore` on disk, reading shared
+  state under striped locks for Copy-on-Update and reading the private
+  snapshot buffer for Naive-Snapshot.
 
 Thread-safety protocol (the paper's Write-Objects-To-Stable-Storage "must be
 thread-safe"): before the mutator writes any object's cells it saves the old
 value into the snapshot buffer and sets the object's saved-mask bit *under
-that object's stripe lock*; the writer reads the mask and then either the
-snapshot or the live cells under the same lock, so it always observes the
-checkpoint-cut value.
+that object's stripe lock* (:class:`~repro.state.dirty.StripeLockSet`); the
+writer reads the mask and then either the snapshot or the live cells under
+the same lock, so it always observes the checkpoint-cut value.
 
 Everything is measured with wall-clock timers: per-tick overhead (the time
 the tick spent on checkpoint work), checkpoint durations (begin to commit),
@@ -26,9 +27,7 @@ and the restore time of an actual sequential read of the final image.
 from __future__ import annotations
 
 import os
-import queue
 import tempfile
-import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -37,8 +36,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.config import StateGeometry
-from repro.errors import ValidationError
-from repro.state.dirty import DoubleBackupBits, EpochSet
+from repro.engine.writer import AsyncCheckpointWriter, CheckpointJob
+from repro.errors import CheckpointWriterError, ValidationError
+from repro.state.dirty import DoubleBackupBits, EpochSet, StripeLockSet
 from repro.storage.double_backup import DoubleBackupStore
 from repro.workloads.zipf import ZipfTrace
 
@@ -47,7 +47,29 @@ from repro.workloads.zipf import ZipfTrace
 #: copies and disk writes dominate the measured costs (see DESIGN.md).
 VALIDATION_GEOMETRY = StateGeometry(rows=262_144, columns=8)
 
-_SENTINEL = None
+
+class _SnapshotSource:
+    """Payload source reading the private snapshot buffer (Naive-Snapshot).
+
+    The snapshot is written only while the writer is idle (the eager copy at
+    checkpoint begin), so no locking is needed.
+    """
+
+    def __init__(self, server: "RealCheckpointServer") -> None:
+        self._server = server
+
+    def read_payloads(self, object_ids: np.ndarray) -> bytes:
+        return self._server._snapshot[object_ids].tobytes()
+
+
+class _ConsistentSource:
+    """Payload source reading snapshot-or-live under stripes (Copy-on-Update)."""
+
+    def __init__(self, server: "RealCheckpointServer") -> None:
+        self._server = server
+
+    def read_payloads(self, object_ids: np.ndarray) -> bytes:
+        return self._server._read_consistent(object_ids)
 
 
 @dataclass
@@ -125,7 +147,6 @@ class RealCheckpointServer:
         self._geometry = geometry
         self._tick_period = tick_period
         self._query_reads = query_reads
-        self._writer_chunk = writer_chunk_objects
         self._seed = seed
         self._own_directory = directory is None
         self._directory = directory or tempfile.mkdtemp(prefix="repro-validate-")
@@ -139,68 +160,29 @@ class RealCheckpointServer:
         self._bits = DoubleBackupBits(num_objects)
         self._touched = EpochSet(num_objects)
         self._write_mask = np.zeros(num_objects, dtype=bool)
-        self._stripes = [threading.Lock() for _ in range(num_stripes)]
-        self._stripe_of = (
-            np.arange(num_objects, dtype=np.int64) * num_stripes // num_objects
-        )
+        self._locks = StripeLockSet(num_objects, num_stripes)
         self._store = DoubleBackupStore(self._directory, geometry)
-        self._jobs: "queue.Queue" = queue.Queue()
-        self._writer_idle = threading.Event()
-        self._writer_idle.set()
-        self._durations: List[float] = []
-        self._writer_error: Optional[BaseException] = None
+        self._writer = AsyncCheckpointWriter(
+            self._store, chunk_objects=writer_chunk_objects, name="repro-writer"
+        )
+        self._snapshot_source = _SnapshotSource(self)
+        self._consistent_source = _ConsistentSource(self)
         # Optional cut-consistency auditing: CRC of the whole state at each
         # checkpoint's cut, compared against the on-disk image afterwards.
         self._verify_consistency = verify_consistency
         self._cut_checksums: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    # Writer thread
+    # Writer-thread payload reads
     # ------------------------------------------------------------------
-
-    def _writer_loop(self) -> None:
-        while True:
-            job = self._jobs.get()
-            if job is _SENTINEL:
-                return
-            try:
-                self._write_checkpoint(**job)
-            except BaseException as error:  # surfaced to the mutator
-                self._writer_error = error
-                self._writer_idle.set()
-                return
-
-    def _write_checkpoint(
-        self, write_ids: np.ndarray, backup_index: int, epoch: int,
-        cut_tick: int, from_snapshot_only: bool,
-    ) -> None:
-        started = time.perf_counter()
-        self._store.begin_checkpoint(backup_index, epoch)
-        object_bytes = self._geometry.object_bytes
-        for start in range(0, write_ids.size, self._writer_chunk):
-            chunk = write_ids[start: start + self._writer_chunk]
-            if from_snapshot_only:
-                payload = self._snapshot[chunk].tobytes()
-            else:
-                payload = self._read_consistent(chunk)
-            self._store.write_objects(chunk, payload)
-        self._store.commit_checkpoint(cut_tick)
-        self._durations.append(time.perf_counter() - started)
-        self._writer_idle.set()
 
     def _read_consistent(self, chunk: np.ndarray) -> bytes:
         """Read cut-consistent payloads for ``chunk`` under stripe locks."""
-        stripes = np.unique(self._stripe_of[chunk])
-        for stripe in stripes:
-            self._stripes[stripe].acquire()
-        try:
+        with self._locks.locked(chunk):
             payload = self._objects_view[chunk].copy()
             saved = self._saved_mask[chunk]
             if saved.any():
                 payload[saved] = self._snapshot[chunk[saved]]
-        finally:
-            for stripe in stripes[::-1]:
-                self._stripes[stripe].release()
         return payload.tobytes()
 
     # ------------------------------------------------------------------
@@ -222,10 +204,6 @@ class RealCheckpointServer:
             num_ticks=num_ticks,
             seed=self._seed,
         )
-        writer = threading.Thread(
-            target=self._writer_loop, name="repro-writer", daemon=True
-        )
-        writer.start()
 
         overheads = np.zeros(num_ticks)
         checkpoint_count = 0
@@ -246,7 +224,7 @@ class RealCheckpointServer:
                 overheads[tick] = self._apply_updates(cells, value_source)
 
                 # --- Tick boundary: start a checkpoint when the writer is idle.
-                if self._writer_idle.is_set():
+                if self._writer.idle:
                     overheads[tick] += self._begin_checkpoint(
                         checkpoint_count, cut_tick=tick
                     )
@@ -259,9 +237,22 @@ class RealCheckpointServer:
                     )
                     if remaining > 0:
                         time.sleep(remaining)
+        except CheckpointWriterError as error:
+            # submit() re-raises a writer-thread failure directly; present
+            # it under this harness's error type like every other path.
+            raise ValidationError(str(error)) from error
         finally:
-            self._jobs.put(_SENTINEL)
-            writer.join(timeout=30.0)
+            # A writer that cannot drain its last checkpoint within the
+            # timeout is a wedged thread, and must raise -- never be shrugged
+            # off with a timed-out join.
+            if not self._writer.wait_idle(timeout=30.0, check=False):
+                error = self._writer.error
+                message = (
+                    "asynchronous writer did not finish within 30.0s"
+                )
+                if error is not None:
+                    message += f" (pending writer error: {error!r})"
+                raise ValidationError(message) from error
         self._check_writer()
 
         restore_seconds = self._measure_restore()
@@ -276,15 +267,15 @@ class RealCheckpointServer:
             ticks=num_ticks,
             state_bytes=geometry.state_bytes,
             tick_overhead=overheads,
-            checkpoint_durations=list(self._durations),
+            checkpoint_durations=self._writer.stats().durations,
             restore_seconds=restore_seconds,
         )
 
     def _check_writer(self) -> None:
-        if self._writer_error is not None:
-            raise ValidationError(
-                f"asynchronous writer failed: {self._writer_error!r}"
-            )
+        try:
+            self._writer.check()
+        except CheckpointWriterError as error:
+            raise ValidationError(str(error)) from error
 
     def _apply_updates(self, cells: np.ndarray, value_source: np.ndarray) -> float:
         """Update phase; returns the measured checkpoint-related overhead."""
@@ -296,7 +287,7 @@ class RealCheckpointServer:
             self._bits.mark_updated(objects)
             fresh = self._touched.add_new(objects)
             copy_ids = fresh[self._write_mask[fresh]]
-            if copy_ids.size and not self._writer_idle.is_set():
+            if copy_ids.size and not self._writer.idle:
                 self._save_old_values(copy_ids)
             overhead = time.perf_counter() - started
         # Apply the updates (game work, not checkpoint overhead).
@@ -305,17 +296,11 @@ class RealCheckpointServer:
         return overhead
 
     def _save_old_values(self, copy_ids: np.ndarray) -> None:
-        stripes = np.unique(self._stripe_of[copy_ids])
-        for stripe in stripes:
-            self._stripes[stripe].acquire()
-        try:
+        with self._locks.locked(copy_ids):
             unsaved = copy_ids[~self._saved_mask[copy_ids]]
             if unsaved.size:
                 self._snapshot[unsaved] = self._objects_view[unsaved]
                 self._saved_mask[unsaved] = True
-        finally:
-            for stripe in stripes[::-1]:
-                self._stripes[stripe].release()
 
     def _begin_checkpoint(self, index: int, cut_tick: int) -> float:
         """Start checkpoint ``index``; returns the synchronous pause."""
@@ -338,14 +323,17 @@ class RealCheckpointServer:
             self._touched.reset()
             from_snapshot_only = False
         pause = time.perf_counter() - started
-        self._writer_idle.clear()
-        self._jobs.put(
-            dict(
-                write_ids=write_ids,
-                backup_index=backup_index,
+        self._writer.submit(
+            CheckpointJob(
+                object_ids=write_ids,
                 epoch=index + 1,
                 cut_tick=cut_tick,
-                from_snapshot_only=from_snapshot_only,
+                source=(
+                    self._snapshot_source
+                    if from_snapshot_only
+                    else self._consistent_source
+                ),
+                backup_index=backup_index,
             )
         )
         return pause
@@ -379,7 +367,7 @@ class RealCheckpointServer:
             raise ValidationError(
                 "construct the server with verify_consistency=True"
             )
-        self._writer_idle.wait(timeout=30.0)
+        self._writer.wait_idle(timeout=30.0, check=False)
         found = self._store.latest_consistent()
         expected = self._cut_checksums.get(found.epoch)
         if expected is None:
@@ -392,8 +380,13 @@ class RealCheckpointServer:
         return zlib.crc32(image) == expected
 
     def close(self) -> None:
-        """Close the store and remove temp files created by this server."""
-        self._store.close()
+        """Stop the writer, close the store, and remove temp files."""
+        try:
+            self._writer.close(timeout=30.0, wait=False)
+        except CheckpointWriterError as error:
+            raise ValidationError(str(error)) from error
+        finally:
+            self._store.close()
         if self._own_directory:
             for name in DoubleBackupStore.FILE_NAMES:
                 path = os.path.join(self._directory, name)

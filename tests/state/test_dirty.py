@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.state.dirty import DoubleBackupBits, EpochSet, PolarityBitmap
+from repro.state.dirty import (
+    DoubleBackupBits,
+    EpochSet,
+    PolarityBitmap,
+    StripeLockSet,
+)
 
 
 class TestPolarityBitmap:
@@ -162,3 +167,54 @@ class TestDoubleBackupBits:
         write_set = bits.begin_checkpoint()
         assert write_set.tolist() == [0, 5]
         bits.finish_checkpoint()
+
+
+class TestStripeLockSet:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StripeLockSet(0)
+        with pytest.raises(ConfigurationError):
+            StripeLockSet(8, num_stripes=0)
+
+    def test_stripes_clamped_to_object_count(self):
+        assert StripeLockSet(4, num_stripes=64).num_stripes == 4
+
+    def test_stripes_of_is_sorted_unique(self):
+        locks = StripeLockSet(32, num_stripes=4)
+        stripes = locks.stripes_of(np.array([31, 0, 8, 9, 0]))
+        assert stripes.tolist() == sorted(set(stripes.tolist()))
+        # Range partition: contiguous ids share a stripe.
+        assert locks.stripes_of(np.array([0, 1])).size == 1
+
+    def test_acquire_release_round_trip(self):
+        locks = StripeLockSet(32, num_stripes=4)
+        ids = np.array([0, 15, 31])
+        stripes = locks.acquire(ids)
+        assert all(locks._locks[s].locked() for s in stripes)
+        locks.release(stripes)
+        assert not any(lock.locked() for lock in locks._locks)
+
+    def test_locked_context_manager(self):
+        locks = StripeLockSet(32, num_stripes=8)
+        with locks.locked(np.array([3, 20])) as stripes:
+            assert all(locks._locks[s].locked() for s in stripes)
+        assert not any(lock.locked() for lock in locks._locks)
+
+    def test_overlapping_batches_exclude_each_other(self):
+        import threading
+
+        locks = StripeLockSet(32, num_stripes=4)
+        order = []
+
+        def contender():
+            with locks.locked(np.array([1])):
+                order.append("contender")
+
+        with locks.locked(np.array([0, 1])):
+            thread = threading.Thread(target=contender)
+            thread.start()
+            thread.join(timeout=0.2)
+            assert thread.is_alive()  # blocked on the shared stripe
+            order.append("holder")
+        thread.join(timeout=5.0)
+        assert order == ["holder", "contender"]

@@ -234,3 +234,41 @@ class TestCompaction:
             store.compact()
         with CheckpointLogStore(tmp_path, geometry) as store:
             assert store.restore_image() == expected
+
+    def test_streaming_compaction_with_tail_larger_than_chunk(
+        self, store, geometry
+    ):
+        """The surviving tail must be rewritten correctly in small chunks.
+
+        The tail here (a full dump plus a string of incremental
+        checkpoints) is far larger than ``chunk_bytes``, so the rewrite
+        loop has to stream it in many pieces without corrupting records.
+        """
+        epochs = [(1, True), (2, False), (3, True)]
+        epochs += [(epoch, False) for epoch in range(4, 20)]
+        self._fill(store, geometry, epochs)
+        expected = store.restore_image()
+        reclaimed = store.compact(chunk_bytes=64)
+        assert reclaimed > 0
+        assert store.restore_image() == expected
+        # The streamed rewrite must leave a log that still accepts appends.
+        self._fill(store, geometry, [(20, False)])
+        _, epoch, _ = store.restore_image()
+        assert epoch == 20
+
+    def test_streaming_compaction_survives_reopen(self, tmp_path, geometry):
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            epochs = [(1, True), (2, True)]
+            epochs += [(epoch, False) for epoch in range(3, 12)]
+            self._fill(store, geometry, epochs)
+            expected = store.restore_image()
+            store.compact(chunk_bytes=16)
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            assert store.restore_image() == expected
+
+    def test_compaction_rejects_invalid_chunk_size(self, store, geometry):
+        self._fill(store, geometry, [(1, True)])
+        with pytest.raises(StorageError):
+            store.compact(chunk_bytes=0)
+        with pytest.raises(StorageError):
+            store.compact(chunk_bytes=-8)

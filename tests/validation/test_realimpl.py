@@ -115,3 +115,23 @@ class TestCopyOnUpdateSemantics:
             server.run(updates_per_tick=10, num_ticks=20)
             elapsed = time.perf_counter() - started
         assert elapsed >= 20 * period * 0.9
+
+
+class TestWriterFaults:
+    def test_store_fault_surfaces_as_validation_error(self, tmp_path):
+        """A writer-thread store failure must not vanish: satellite of the
+        silent ``writer.join(timeout=...)`` bug -- the run now raises with
+        the pending writer error attached."""
+        from repro.errors import StorageError
+
+        with pytest.raises(ValidationError) as excinfo:
+            with RealCheckpointServer(
+                "naive-snapshot", geometry=TEST_GEOMETRY, directory=tmp_path
+            ) as server:
+
+                def explode():
+                    raise StorageError("injected writer fault")
+
+                server._store.write_fault_hook = explode
+                server.run(updates_per_tick=100, num_ticks=60)
+        assert "injected writer fault" in str(excinfo.value)
