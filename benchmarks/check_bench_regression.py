@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Compare a BENCH_engine.json run against a committed baseline.
+
+CI runs the smoke benchmark on every push; this script diffs the key
+throughput/latency metrics against ``benchmarks/baselines/`` and emits a
+GitHub Actions ``::warning::`` annotation for every metric that regressed by
+more than ``--threshold`` (default 20%).  It never fails the build -- CI
+runners are noisy shared machines, so a regression here is a prompt to look,
+not a gate::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
+    python benchmarks/check_bench_regression.py BENCH_engine.json \
+        --baseline benchmarks/baselines/BENCH_engine.smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (json path, human label, higher_is_better)
+KEY_METRICS = [
+    (("single_shard", "sync", "ticks_per_second"),
+     "single-shard sync throughput", True),
+    (("single_shard", "async", "ticks_per_second"),
+     "single-shard async throughput", True),
+    (("single_shard", "async", "p99_tick_seconds"),
+     "single-shard async p99 tick latency", False),
+    (("single_shard", "async_mean_latency_speedup"),
+     "async-over-sync latency speedup", True),
+    (("durability_sweep", "never", "ticks_per_second"),
+     "durability sweep (never) throughput", True),
+    (("durability_sweep", "always", "ticks_per_second"),
+     "durability sweep (always) throughput", True),
+    (("fleet_recovery", "speedup"),
+     "modeled parallel recovery speedup", True),
+]
+
+
+def lookup(results: dict, path: tuple):
+    node = results
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def fleet_metrics(results: dict):
+    """Yield per-point fleet/pool throughput entries keyed by shape."""
+    for point in results.get("fleet", []):
+        yield (f"fleet {point['num_shards']} shard(s) throughput",
+               point.get("ticks_per_second"), True)
+    for point in results.get("writer_pool", []):
+        yield (f"pooled fleet (pool={point['pool_size']}) throughput",
+               point.get("ticks_per_second"), True)
+
+
+def compare(current: dict, baseline: dict, threshold: float):
+    """Yields (label, baseline_value, current_value, relative_change)."""
+    pairs = [
+        (label, lookup(baseline, path), lookup(current, path), higher)
+        for path, label, higher in KEY_METRICS
+    ]
+    baseline_fleet = {
+        label: (value, higher)
+        for label, value, higher in fleet_metrics(baseline)
+    }
+    for label, value, higher in fleet_metrics(current):
+        if label in baseline_fleet:
+            pairs.append((label, baseline_fleet[label][0], value, higher))
+    for label, base, now, higher_is_better in pairs:
+        if base is None or now is None or base == 0:
+            continue
+        change = (now - base) / abs(base)
+        regressed = (
+            change < -threshold if higher_is_better else change > threshold
+        )
+        yield label, base, now, change, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced BENCH_engine.json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative regression that triggers a warning "
+                             "(default 0.2 = 20%%)")
+    args = parser.parse_args(argv)
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    regressions = 0
+    for label, base, now, change, regressed in compare(
+        current, baseline, args.threshold
+    ):
+        direction = f"{change:+.1%}"
+        if regressed:
+            regressions += 1
+            print(f"::warning title=Benchmark regression::{label}: "
+                  f"{base:.4g} -> {now:.4g} ({direction}, threshold "
+                  f"{args.threshold:.0%})")
+        else:
+            print(f"  ok: {label}: {base:.4g} -> {now:.4g} ({direction})")
+
+    if regressions:
+        print(f"{regressions} metric(s) regressed beyond "
+              f"{args.threshold:.0%} (warnings only; CI timing is noisy)",
+              file=sys.stderr)
+    else:
+        print("no benchmark regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

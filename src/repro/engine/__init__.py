@@ -20,13 +20,17 @@ from repro.engine.recovery import RecoveryManager, RecoveryReport
 from repro.engine.server import DurableGameServer
 from repro.engine.shard import MMOShard, ShardRecovery
 from repro.engine.writer import AsyncCheckpointWriter, CheckpointJob, WriterStats
+from repro.engine.writer_pool import CheckpointWriterPool, PoolStats, PoolWriter
 
 __all__ = [
     "AsyncCheckpointWriter",
     "CheckpointJob",
+    "CheckpointWriterPool",
     "DurableGameServer",
     "FleetRunReport",
     "MMOShard",
+    "PoolStats",
+    "PoolWriter",
     "RealExecutor",
     "RecoveryManager",
     "RecoveryReport",

@@ -11,7 +11,10 @@ executor, but instead of charging model costs it
   number of bytes per tick on the game thread (the deterministic serial
   emulation), or, with ``async_writer=True``, by handing each checkpoint to
   an :class:`~repro.engine.writer.AsyncCheckpointWriter` thread that overlaps
-  the I/O with subsequent ticks, as in the paper's Figure 1 architecture.
+  the I/O with subsequent ticks, as in the paper's Figure 1 architecture, or
+  -- with ``writer_pool`` set -- by submitting through a shared
+  :class:`~repro.engine.writer_pool.CheckpointWriterPool` handle so a whole
+  fleet of executors is served by ``O(pool_size)`` writer threads.
 
 The consistency argument mirrors the paper's: every object in the write set
 is emitted either from the snapshot buffer (if it was updated after the cut;
@@ -44,6 +47,7 @@ from repro.engine.writer import (
     AsyncCheckpointWriter,
     CheckpointJob,
 )
+from repro.engine.writer_pool import CheckpointWriterPool, PoolWriter
 from repro.errors import EngineError
 from repro.state.dirty import StripeLockSet
 from repro.state.table import GameStateTable
@@ -64,6 +68,8 @@ class RealExecutor(SubroutineExecutor):
         async_writer: bool = False,
         num_stripes: int = 64,
         writer_chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
+        writer_pool: Optional[CheckpointWriterPool] = None,
+        writer_name: Optional[str] = None,
     ) -> None:
         geometry = table.geometry
         if store.geometry != geometry:
@@ -86,11 +92,20 @@ class RealExecutor(SubroutineExecutor):
         )
         self._snapshot_mask = np.zeros(num_objects, dtype=bool)
         self._all_ids = np.arange(num_objects, dtype=np.int64)
-        if async_writer:
+        if writer_pool is not None:
+            # Shared-pool mode: register the store and submit through the
+            # handle; the same cut-consistency protocol applies, the flush
+            # just runs on one of the pool's workers instead of a dedicated
+            # thread.
             self._locks: Optional[StripeLockSet] = StripeLockSet(
                 num_objects, num_stripes
             )
-            self._writer: Optional[AsyncCheckpointWriter] = AsyncCheckpointWriter(
+            self._writer: Optional[Union[AsyncCheckpointWriter, PoolWriter]] = (
+                writer_pool.register(store, name=writer_name)
+            )
+        elif async_writer:
+            self._locks = StripeLockSet(num_objects, num_stripes)
+            self._writer = AsyncCheckpointWriter(
                 store, chunk_objects=writer_chunk_objects
             )
         else:
@@ -115,8 +130,8 @@ class RealExecutor(SubroutineExecutor):
         return self._store
 
     @property
-    def writer(self) -> Optional[AsyncCheckpointWriter]:
-        """The asynchronous writer thread, or None in serial mode."""
+    def writer(self) -> Optional[Union[AsyncCheckpointWriter, PoolWriter]]:
+        """The writer thread or shared-pool handle, or None in serial mode."""
         return self._writer
 
     @property

@@ -1,19 +1,27 @@
-"""A fleet of MMO shards ticking concurrently, one writer thread each.
+"""A fleet of MMO shards ticking concurrently under one checkpoint I/O crew.
 
 The paper's deployment unit is the shard: "the game world is partitioned
 into mostly-independent areas" each served by its own game server (Section
 1).  :class:`ShardFleet` runs ``N`` :class:`~repro.engine.shard.MMOShard`
-instances against one root directory, each shard with its own durable state,
-its own deterministic seed, and -- with ``async_writer=True`` -- its own
-:class:`~repro.engine.writer.AsyncCheckpointWriter` thread, so a fleet of
-``N`` shards runs up to ``2 N`` threads with checkpoint I/O overlapping game
-ticks in every one of them.
+instances against one root directory, each shard with its own durable state
+and deterministic seed.  Checkpoint I/O runs in one of two shapes:
+
+* ``pool_size=K`` (the production shape) -- one shared
+  :class:`~repro.engine.writer_pool.CheckpointWriterPool` serves every
+  shard, so the fleet runs ``N`` mutator threads plus ``K`` writer threads
+  (``O(pool_size)``, not ``O(num_shards)``), with batched submission and
+  per-shard fairness;
+* ``pool_size=None, async_writer=True`` (the PR 2 fallback) -- every shard
+  keeps its own :class:`~repro.engine.writer.AsyncCheckpointWriter` thread,
+  up to ``2 N`` threads total.
 
 The fleet is the unit the throughput benchmark drives
 (``benchmarks/bench_engine.py``): :meth:`run_ticks` advances every shard by
 the same number of ticks, either on one thread (``parallel=False``, the
 deterministic baseline) or on a thread per shard, and reports aggregate
-ticks/second.  Crash and recovery also operate fleet-wide, shard by shard.
+ticks/second.  Crash operates fleet-wide; :meth:`recover` replays every
+shard either serially or on a recovery thread pool with deterministic,
+index-ordered result assembly.
 """
 
 from __future__ import annotations
@@ -21,12 +29,14 @@ from __future__ import annotations
 import os
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 from repro.engine.app import TickApplication
 from repro.engine.server import ServerStats
 from repro.engine.shard import MMOShard, ShardRecovery
+from repro.engine.writer_pool import CheckpointWriterPool
 from repro.errors import EngineError
 
 #: Subdirectory name of shard ``i`` under the fleet root.
@@ -61,15 +71,31 @@ class ShardFleet:
         num_shards: int,
         algorithm: str = "copy-on-update",
         seed: int = 0,
+        pool_size: Optional[int] = None,
+        pool_max_pending: Optional[int] = None,
+        pool_batch_jobs: int = 8,
         **shard_kwargs,
     ) -> None:
         if num_shards <= 0:
             raise EngineError(f"num_shards must be positive, got {num_shards}")
         self._directory = os.fspath(directory)
         self._num_shards = num_shards
+        self._pool: Optional[CheckpointWriterPool] = None
+        if pool_size is not None:
+            self._pool = CheckpointWriterPool(
+                pool_size,
+                max_pending=pool_max_pending,
+                batch_jobs=pool_batch_jobs,
+            )
+            shard_kwargs = dict(shard_kwargs)
+            shard_kwargs["writer_pool"] = self._pool
+            # The pool supersedes the one-thread-per-shard fallback.
+            shard_kwargs.pop("async_writer", None)
         self._shards: List[MMOShard] = []
         try:
             for index in range(num_shards):
+                if self._pool is not None:
+                    shard_kwargs["writer_name"] = f"shard-{index:02d}"
                 self._shards.append(
                     MMOShard(
                         app_factory(index),
@@ -82,6 +108,8 @@ class ShardFleet:
         except BaseException:
             for shard in self._shards:
                 shard.close()
+            if self._pool is not None:
+                self._pool.kill()
             raise
         self._crashed = False
 
@@ -103,6 +131,24 @@ class ShardFleet:
     def shards(self) -> List[MMOShard]:
         """The live shards, in index order."""
         return list(self._shards)
+
+    @property
+    def writer_pool(self) -> Optional[CheckpointWriterPool]:
+        """The shared checkpoint writer pool, or None in per-shard mode."""
+        return self._pool
+
+    @property
+    def writer_threads(self) -> int:
+        """Total checkpoint writer threads the fleet runs.
+
+        ``pool_size`` with a pool, ``num_shards`` with per-shard async
+        writers -- the headline scaling difference the pool exists for.
+        """
+        if self._pool is not None:
+            return self._pool.num_workers
+        if self._crashed:
+            return 0
+        return sum(1 for shard in self._shards if shard.game.async_writer)
 
     # ------------------------------------------------------------------
     # Driving the fleet
@@ -161,18 +207,27 @@ class ShardFleet:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Fail-stop every shard (writers abandoned, files closed)."""
+        """Fail-stop every shard (writers abandoned, files closed).
+
+        Each shard's crash retires its pool handle (or kills its private
+        writer) before closing its files, so no worker can touch a closed
+        store; the pool's worker threads are then torn down.
+        """
         if self._crashed:
             raise EngineError("fleet has crashed; recover it instead")
         self._crashed = True
         for shard in self._shards:
             shard.crash()
+        if self._pool is not None:
+            self._pool.kill()
 
     def close(self) -> None:
-        """Orderly shutdown of every shard."""
+        """Orderly shutdown of every shard, then the shared pool."""
         if not self._crashed:
             for shard in self._shards:
                 shard.close()
+            if self._pool is not None:
+                self._pool.close(wait=False)
 
     def __enter__(self) -> "ShardFleet":
         return self
@@ -187,13 +242,36 @@ class ShardFleet:
         directory: Union[str, os.PathLike],
         num_shards: int,
         seed: int = 0,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
     ) -> List[ShardRecovery]:
-        """Recover every shard of a crashed fleet, in index order."""
-        return [
-            MMOShard.recover(
+        """Recover every shard of a crashed fleet, results in index order.
+
+        With ``parallel=True`` (the default) shard recoveries run on a
+        thread pool of ``max_workers`` threads (default: one per shard);
+        restore reads and replays of independent shards overlap, which is
+        where recovery time goes at production shard counts.  Assembly is
+        deterministic either way: the returned list is indexed by shard, and
+        each shard's recovery is a pure function of its own directory, so
+        thread scheduling cannot change any recovered state.
+        """
+        if num_shards <= 0:
+            raise EngineError(f"num_shards must be positive, got {num_shards}")
+
+        def recover_shard(index: int) -> ShardRecovery:
+            return MMOShard.recover(
                 app_factory(index),
                 shard_directory(directory, index),
                 seed=seed + index,
             )
-            for index in range(num_shards)
-        ]
+
+        if not parallel or num_shards == 1:
+            return [recover_shard(index) for index in range(num_shards)]
+        workers = max_workers if max_workers is not None else num_shards
+        workers = max(1, min(workers, num_shards))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-fleet-recover"
+        ) as executor:
+            # Executor.map preserves argument order, so the assembly is
+            # index-ordered no matter which shard finishes first.
+            return list(executor.map(recover_shard, range(num_shards)))

@@ -79,6 +79,8 @@ class DurableGameServer:
         async_writer: bool = False,
         num_stripes: int = 64,
         writer_chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
+        writer_pool=None,
+        writer_name: Optional[str] = None,
     ) -> None:
         if min_checkpoint_interval_ticks < 1:
             raise EngineError(
@@ -112,7 +114,7 @@ class DurableGameServer:
             writer_bytes_per_tick = max(
                 geometry.object_bytes, geometry.checkpoint_bytes // 16
             )
-        self._async_writer = bool(async_writer)
+        self._async_writer = bool(async_writer) or writer_pool is not None
         self._executor = RealExecutor(
             self._table,
             self._store,
@@ -120,9 +122,15 @@ class DurableGameServer:
             async_writer=async_writer,
             num_stripes=num_stripes,
             writer_chunk_objects=writer_chunk_objects,
+            writer_pool=writer_pool,
+            writer_name=writer_name,
         )
         self._framework = CheckpointFramework(self._policy, self._executor)
-        self._action_log = ActionLog(self._directory, sync=sync)
+        # The logical log shares the checkpoint stores' durability policy so
+        # fsync sweeps compare the whole write path apples-to-apples.
+        self._action_log = ActionLog(
+            self._directory, sync=sync, fsync_policy=fsync_policy
+        )
         if self._action_log.last_tick is not None:
             raise EngineError(
                 f"{self._directory} already contains a server's logs; "
@@ -160,7 +168,8 @@ class DurableGameServer:
 
     @property
     def async_writer(self) -> bool:
-        """True when checkpoints are flushed by the writer thread."""
+        """True when checkpoints are flushed off the game thread (a
+        dedicated writer thread or a shared writer pool)."""
         return self._async_writer
 
     @property

@@ -48,8 +48,15 @@ class MMOShard:
         algorithm: str = "copy-on-update",
         seed: int = 0,
         sync: bool = False,
+        writer_pool=None,
         **game_server_kwargs,
     ) -> None:
+        """``writer_pool`` (a
+        :class:`~repro.engine.writer_pool.CheckpointWriterPool`) makes the
+        game server submit its checkpoints through the shared pool instead
+        of a private writer thread; the pool is owned by the caller
+        (typically :class:`~repro.engine.fleet.ShardFleet`) and survives
+        this shard's crash/close."""
         self._directory = os.fspath(directory)
         self._game = DurableGameServer(
             app,
@@ -57,6 +64,7 @@ class MMOShard:
             algorithm=algorithm,
             seed=seed,
             sync=sync,
+            writer_pool=writer_pool,
             **game_server_kwargs,
         )
         self._persistence = PersistenceServer(

@@ -50,6 +50,50 @@ _SENTINEL = None
 DEFAULT_CHUNK_OBJECTS = 512
 
 
+def flush_checkpoint_job(
+    store: StoreType,
+    job: CheckpointJob,
+    chunk_objects: int,
+    should_abandon=None,
+    on_chunk_written=None,
+) -> bool:
+    """Flush one :class:`CheckpointJob` through a store, chunk by chunk.
+
+    The single flush routine shared by :class:`AsyncCheckpointWriter` and
+    :class:`~repro.engine.writer_pool.CheckpointWriterPool`: begin, write the
+    job's object ids in ``chunk_objects`` batches (reading cut-consistent
+    payloads from the job's source), commit.  ``should_abandon`` is polled at
+    every chunk boundary; returning True aborts the checkpoint (crash
+    semantics -- the store keeps an uncommitted checkpoint) and the function
+    returns False.  ``on_chunk_written`` receives the byte count of each
+    chunk as it lands, for cross-thread accounting.
+    """
+    double_backup = isinstance(store, DoubleBackupStore)
+    if double_backup:
+        store.begin_checkpoint(job.backup_index, job.epoch)
+    else:
+        store.begin_checkpoint(job.epoch, job.is_full_dump)
+    object_bytes = store.geometry.object_bytes
+    ids = job.object_ids
+    for start in range(0, ids.size, chunk_objects):
+        if should_abandon is not None and should_abandon():
+            store.abort_checkpoint()
+            return False
+        chunk = ids[start: start + chunk_objects]
+        payloads = job.source.read_payloads(chunk)
+        if double_backup:
+            store.write_objects(chunk, payloads)
+        else:
+            store.append_objects(chunk, payloads)
+        if on_chunk_written is not None:
+            on_chunk_written(chunk.size * object_bytes)
+    if should_abandon is not None and should_abandon():
+        store.abort_checkpoint()
+        return False
+    store.commit_checkpoint(job.cut_tick)
+    return True
+
+
 class PayloadSource(Protocol):
     """Produces cut-consistent payload bytes for a batch of objects.
 
@@ -276,37 +320,23 @@ class AsyncCheckpointWriter:
 
     def _write_checkpoint(self, job: CheckpointJob) -> bool:
         """Flush one checkpoint; False if abandoned on a stop request."""
-        store = self._store
         started = time.perf_counter()
-        double_backup = isinstance(store, DoubleBackupStore)
-        if double_backup:
-            store.begin_checkpoint(job.backup_index, job.epoch)
-        else:
-            store.begin_checkpoint(job.epoch, job.is_full_dump)
-        object_bytes = store.geometry.object_bytes
-        ids = job.object_ids
-        written = 0
-        for start in range(0, ids.size, self._chunk):
-            if self._stop.is_set():
-                store.abort_checkpoint()
-                with self._lock:
-                    self._stats.jobs_abandoned += 1
-                return False
-            chunk = ids[start: start + self._chunk]
-            payloads = job.source.read_payloads(chunk)
-            if double_backup:
-                store.write_objects(chunk, payloads)
-            else:
-                store.append_objects(chunk, payloads)
-            written += chunk.size * object_bytes
+
+        def on_chunk_written(nbytes: int) -> None:
             with self._lock:
-                self._stats.bytes_written += chunk.size * object_bytes
-        if self._stop.is_set():
-            store.abort_checkpoint()
+                self._stats.bytes_written += nbytes
+
+        completed = flush_checkpoint_job(
+            self._store,
+            job,
+            self._chunk,
+            should_abandon=self._stop.is_set,
+            on_chunk_written=on_chunk_written,
+        )
+        if not completed:
             with self._lock:
                 self._stats.jobs_abandoned += 1
             return False
-        store.commit_checkpoint(job.cut_tick)
         elapsed = time.perf_counter() - started
         with self._lock:
             self._stats.jobs_completed += 1

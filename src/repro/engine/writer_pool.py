@@ -1,0 +1,505 @@
+"""A shared checkpoint writer pool: K worker threads for a whole fleet.
+
+PR 2 gave every shard its own :class:`~repro.engine.writer.AsyncCheckpointWriter`
+thread.  That is the paper's Figure 1 shape for a single game server, but it
+does not scale to production shard counts: at ``num_shards=64`` the process
+runs 64 writer threads that mostly idle between checkpoint cadence points,
+and the kernel sees 64 uncoordinated I/O streams.  The pool replaces them
+with a fixed crew:
+
+* **K worker threads shared by all shards.**  Each shard registers its store
+  and receives a :class:`PoolWriter` handle whose mutator-side surface
+  (``submit`` / ``check`` / ``idle`` / ``wait_idle`` / ``stats`` / ``close``)
+  is interchangeable with :class:`~repro.engine.writer.AsyncCheckpointWriter`,
+  so :class:`~repro.engine.executor.RealExecutor` and the validation harness
+  plug in either without caring which.  Total writer thread count is
+  ``O(pool_size)``, not ``O(num_shards)``.
+
+* **Bounded admission queue with per-shard fairness.**  Each handle may have
+  at most one job in flight (checkpoints are sequential per shard by
+  construction), so the ready queue holds at most one entry per shard and
+  draining it front-first is round-robin over shards -- no shard can starve
+  another's cut-consistent handoff.  ``max_pending`` bounds the queue; a
+  saturated pool pushes back on the submitting mutator (it blocks up to
+  ``admission_timeout`` seconds, then raises) instead of buffering without
+  limit.
+
+* **Batched submission.**  A worker wakes up and takes a *batch*: the job at
+  the front of the queue plus up to ``batch_jobs - 1`` more jobs whose store
+  is the same type, flushed back-to-back in shard-index order.  The
+  double-backup stores see their in-place sorted runs grouped together and
+  the log stores see their sequential appends grouped together -- fewer,
+  larger bursts of similar I/O instead of interleaved single chunks -- while
+  the queue-head rule keeps the oldest waiting shard in the very next batch.
+
+* **Failure isolation.**  A store raising mid-flush poisons only its own
+  handle: the error is recorded there and re-raised on *that shard's* next
+  ``check``/``submit``, the worker aborts that checkpoint (the store keeps
+  an uncommitted image, exactly the torn state recovery ignores) and moves
+  on to the other shards' jobs.
+
+Shutdown mirrors the single writer: ``close(wait=True)`` drains every queued
+job to commit before the workers exit; ``close(wait=False)`` / ``kill``
+abandons queued and in-flight jobs at the next chunk boundary (crash
+semantics).  A pool that cannot join its workers within the timeout raises
+rather than silently leaking threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.engine.writer import (
+    DEFAULT_CHUNK_OBJECTS,
+    CheckpointJob,
+    StoreType,
+    WriterStats,
+    flush_checkpoint_job,
+)
+from repro.errors import CheckpointWriterError
+
+
+@dataclass
+class PoolStats:
+    """Cross-thread snapshot of the pool's lifetime counters."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_abandoned: int = 0
+    bytes_written: int = 0
+    #: Wall-clock seconds workers spent inside jobs (begin to commit).
+    busy_seconds: float = 0.0
+    #: Number of worker wakeups that flushed at least one job.
+    batches_flushed: int = 0
+    #: Jobs per batch, in flush order.
+    batch_sizes: List[int] = field(default_factory=list)
+    #: Largest number of jobs ever waiting in the admission queue.
+    max_queue_depth: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average jobs coalesced per worker wakeup."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class PoolWriter:
+    """One shard's submission handle onto a shared writer pool.
+
+    Duck-types the mutator-side surface of
+    :class:`~repro.engine.writer.AsyncCheckpointWriter`; obtained via
+    :meth:`CheckpointWriterPool.register`, never constructed directly.
+    """
+
+    def __init__(
+        self, pool: "CheckpointWriterPool", store: StoreType, index: int,
+        name: str,
+    ) -> None:
+        self._pool = pool
+        self._store = store
+        self._index = index
+        self._name = name
+        self._idle = threading.Event()
+        self._idle.set()
+        self._abandon = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._job: Optional[CheckpointJob] = None  # guarded by the pool lock
+        self._stats = WriterStats()  # guarded by the pool lock
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> StoreType:
+        """The stable-storage structure this handle flushes through."""
+        return self._store
+
+    @property
+    def name(self) -> str:
+        """Display name of the handle (defaults to ``shard-<index>``)."""
+        return self._name
+
+    @property
+    def index(self) -> int:
+        """Registration order; batches flush in this order."""
+        return self._index
+
+    @property
+    def idle(self) -> bool:
+        """True when this shard has no checkpoint write queued or in flight."""
+        return self._idle.is_set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The pending failure from this shard's last flush, if any."""
+        return self._error
+
+    @property
+    def last_committed(self):
+        """``(epoch, cut_tick)`` of this shard's newest committed checkpoint."""
+        with self._pool._lock:
+            return self._stats.last_committed
+
+    def stats(self) -> WriterStats:
+        """Consistent snapshot of this shard's lifetime counters."""
+        with self._pool._lock:
+            return WriterStats(
+                jobs_submitted=self._stats.jobs_submitted,
+                jobs_completed=self._stats.jobs_completed,
+                jobs_abandoned=self._stats.jobs_abandoned,
+                bytes_written=self._stats.bytes_written,
+                busy_seconds=self._stats.busy_seconds,
+                durations=list(self._stats.durations),
+                last_committed=self._stats.last_committed,
+            )
+
+    # ------------------------------------------------------------------
+    # Mutator-side interface
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Re-raise this shard's pending flush failure on the caller."""
+        if self._error is not None:
+            raise CheckpointWriterError(
+                f"checkpoint writer pool failed on {self._name}: "
+                f"{self._error!r}"
+            ) from self._error
+
+    def submit(self, job: CheckpointJob) -> None:
+        """Hand one checkpoint to the pool (previous one must be finished)."""
+        self._pool._submit(self, job)
+
+    def wait_idle(
+        self, timeout: Optional[float] = None, check: bool = True
+    ) -> bool:
+        """Block until this shard's job finishes; False on timeout."""
+        finished = self._idle.wait(timeout)
+        if check:
+            self.check()
+        return finished
+
+    def close(self, timeout: float = 30.0, wait: bool = True) -> None:
+        """Retire the handle (the pool itself keeps running).
+
+        ``wait=True`` lets a queued or in-flight job run to commit and then
+        re-raises any pending error; ``wait=False`` drops a queued job
+        outright and tells a worker mid-flush to abandon at the next chunk
+        boundary (crash semantics).  Either way the handle is idle when this
+        returns -- no worker will touch the store afterwards -- or a
+        :class:`~repro.errors.CheckpointWriterError` is raised.
+        """
+        self._closed = True
+        if not wait:
+            self._pool._abandon_handle(self)
+        if not self.wait_idle(timeout=timeout, check=False):
+            message = (
+                f"writer pool did not release {self._name} within "
+                f"{timeout:.1f}s"
+            )
+            if self._error is not None:
+                message += f" (pending writer error: {self._error!r})"
+            raise CheckpointWriterError(message) from self._error
+        if wait:
+            self.check()
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Crash-style retirement: abandon this shard's job and detach."""
+        self.close(timeout=timeout, wait=False)
+
+
+class CheckpointWriterPool:
+    """K shared worker threads flushing checkpoints for many shards."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        max_pending: Optional[int] = None,
+        batch_jobs: int = 8,
+        chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
+        admission_timeout: float = 60.0,
+        name: str = "repro-ckpt-pool",
+    ) -> None:
+        if num_workers <= 0:
+            raise CheckpointWriterError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        if max_pending is not None and max_pending <= 0:
+            raise CheckpointWriterError(
+                f"max_pending must be positive or None, got {max_pending}"
+            )
+        if batch_jobs <= 0:
+            raise CheckpointWriterError(
+                f"batch_jobs must be positive, got {batch_jobs}"
+            )
+        if chunk_objects <= 0:
+            raise CheckpointWriterError(
+                f"chunk_objects must be positive, got {chunk_objects}"
+            )
+        self._num_workers = num_workers
+        self._max_pending = max_pending
+        self._batch_jobs = batch_jobs
+        self._chunk = chunk_objects
+        self._admission_timeout = admission_timeout
+        self._name = name
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._ready: Deque[PoolWriter] = deque()
+        self._handles: List[PoolWriter] = []
+        self._threads: List[threading.Thread] = []
+        self._shutdown = False
+        self._abandon_all = threading.Event()
+        self._stats = PoolStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        """Size of the worker crew (the total writer thread count)."""
+        return self._num_workers
+
+    @property
+    def handles(self) -> List[PoolWriter]:
+        """Registered handles, in registration order."""
+        with self._lock:
+            return list(self._handles)
+
+    def stats(self) -> PoolStats:
+        """Consistent snapshot of the pool-wide lifetime counters."""
+        with self._lock:
+            return PoolStats(
+                jobs_submitted=self._stats.jobs_submitted,
+                jobs_completed=self._stats.jobs_completed,
+                jobs_abandoned=self._stats.jobs_abandoned,
+                bytes_written=self._stats.bytes_written,
+                busy_seconds=self._stats.busy_seconds,
+                batches_flushed=self._stats.batches_flushed,
+                batch_sizes=list(self._stats.batch_sizes),
+                max_queue_depth=self._stats.max_queue_depth,
+            )
+
+    # ------------------------------------------------------------------
+    # Registration and submission
+    # ------------------------------------------------------------------
+
+    def register(self, store: StoreType, name: Optional[str] = None) -> PoolWriter:
+        """Attach a shard's store; returns its submission handle."""
+        if self._closed:
+            raise CheckpointWriterError("writer pool is closed")
+        with self._lock:
+            index = len(self._handles)
+            handle = PoolWriter(
+                self, store, index, name or f"shard-{index:02d}"
+            )
+            self._handles.append(handle)
+        return handle
+
+    def _ensure_workers(self) -> None:
+        if self._threads:
+            return
+        with self._lock:
+            if self._threads:
+                return
+            for worker in range(self._num_workers):
+                thread = threading.Thread(
+                    target=self._run,
+                    name=f"{self._name}-{worker}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _submit(self, handle: PoolWriter, job: CheckpointJob) -> None:
+        handle.check()
+        if self._closed or handle._closed:
+            raise CheckpointWriterError("writer pool is closed")
+        if not handle._idle.is_set():
+            raise CheckpointWriterError(
+                f"checkpoint job submitted on {handle.name} while the "
+                "previous one is in flight"
+            )
+        self._ensure_workers()
+        with self._lock:
+            # Admission control: a saturated queue blocks the mutator
+            # (backpressure) rather than growing without bound.
+            deadline = time.monotonic() + self._admission_timeout
+            while (
+                self._max_pending is not None
+                and len(self._ready) >= self._max_pending
+                and not self._shutdown
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._space.wait(timeout=remaining):
+                    raise CheckpointWriterError(
+                        f"admission queue full ({self._max_pending} pending) "
+                        f"for {self._admission_timeout:.1f}s; the pool is not "
+                        "keeping up with the fleet's checkpoint cadence"
+                    )
+            if self._shutdown:
+                raise CheckpointWriterError("writer pool is closed")
+            handle._job = job
+            handle._abandon.clear()
+            handle._idle.clear()
+            handle._stats.jobs_submitted += 1
+            self._stats.jobs_submitted += 1
+            self._ready.append(handle)
+            if len(self._ready) > self._stats.max_queue_depth:
+                self._stats.max_queue_depth = len(self._ready)
+            self._work.notify()
+
+    def _abandon_handle(self, handle: PoolWriter) -> None:
+        """Drop a queued job, or flag an in-flight one to stop (kill path)."""
+        with self._lock:
+            handle._abandon.set()
+            if handle in self._ready:
+                # Never picked up: retire it without touching the store.
+                self._ready.remove(handle)
+                handle._job = None
+                handle._stats.jobs_abandoned += 1
+                self._stats.jobs_abandoned += 1
+                handle._idle.set()
+                self._space.notify()
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+
+    def _take_batch_locked(self) -> List[PoolWriter]:
+        """Pop the queue head plus same-store-type jobs behind it.
+
+        Starting from the head keeps fairness: the longest-waiting shard is
+        always in the next batch, so a differently-typed job can be passed
+        over at most until the next wakeup, never indefinitely.
+        """
+        first = self._ready.popleft()
+        batch = [first]
+        if self._batch_jobs > 1:
+            store_type = type(first._store)
+            for handle in list(self._ready):
+                if len(batch) >= self._batch_jobs:
+                    break
+                if type(handle._store) is store_type:
+                    self._ready.remove(handle)
+                    batch.append(handle)
+        # One ordered flush: deterministic shard-index order within the batch.
+        batch.sort(key=lambda handle: handle._index)
+        self._stats.batches_flushed += 1
+        self._stats.batch_sizes.append(len(batch))
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._ready and not self._shutdown:
+                    self._work.wait()
+                if not self._ready:
+                    return  # shutdown with an empty queue
+                batch = self._take_batch_locked()
+                self._space.notify_all()
+            for handle in batch:
+                self._flush(handle)
+
+    def _flush(self, handle: PoolWriter) -> None:
+        """Flush one shard's job; errors poison only that shard's handle."""
+        job = handle._job
+
+        def should_abandon() -> bool:
+            return handle._abandon.is_set() or self._abandon_all.is_set()
+
+        def on_chunk_written(nbytes: int) -> None:
+            with self._lock:
+                handle._stats.bytes_written += nbytes
+                self._stats.bytes_written += nbytes
+
+        started = time.perf_counter()
+        try:
+            if should_abandon():
+                # Killed between queue pop and flush: leave the store alone.
+                completed = False
+            else:
+                completed = flush_checkpoint_job(
+                    handle._store,
+                    job,
+                    self._chunk,
+                    should_abandon=should_abandon,
+                    on_chunk_written=on_chunk_written,
+                )
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                if completed:
+                    handle._stats.jobs_completed += 1
+                    handle._stats.busy_seconds += elapsed
+                    handle._stats.durations.append(elapsed)
+                    handle._stats.last_committed = (job.epoch, job.cut_tick)
+                    self._stats.jobs_completed += 1
+                    self._stats.busy_seconds += elapsed
+                else:
+                    handle._stats.jobs_abandoned += 1
+                    self._stats.jobs_abandoned += 1
+        except BaseException as error:  # surfaced on that shard's mutator
+            handle._error = error
+            with self._lock:
+                self._stats.jobs_abandoned += 1
+        finally:
+            handle._job = None
+            handle._idle.set()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self, timeout: float = 30.0, wait: bool = True) -> None:
+        """Stop the workers and join them.
+
+        ``wait=True`` drains every queued job to commit first (orderly
+        shutdown); ``wait=False`` abandons queued and in-flight jobs at the
+        next chunk boundary (crash semantics).  Raises if any worker is still
+        alive after ``timeout`` seconds, or -- on an orderly close -- if any
+        handle holds a pending flush error.
+        """
+        self._closed = True
+        if not wait:
+            self._abandon_all.set()
+        with self._lock:
+            self._shutdown = True
+            self._work.notify_all()
+            self._space.notify_all()
+        deadline = time.monotonic() + timeout
+        stuck = []
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stuck.append(thread.name)
+        if stuck:
+            raise CheckpointWriterError(
+                f"writer pool workers did not stop within {timeout:.1f}s: "
+                f"{', '.join(stuck)}"
+            )
+        self._threads = []
+        if wait:
+            for handle in self.handles:
+                # A retired handle's error already surfaced on its own
+                # shard's close/kill path; only live handles re-raise here.
+                if not handle._closed:
+                    handle.check()
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Crash-style shutdown: abandon everything in flight and join."""
+        self.close(timeout=timeout, wait=False)
+
+    def __enter__(self) -> "CheckpointWriterPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._closed:
+            self.close()

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 from repro.errors import StorageError
+from repro.storage.double_backup import resolve_fsync_policy
 from repro.storage.layout import (
     RECORD_HEADER_BYTES,
     RECORD_TICK,
@@ -45,13 +46,27 @@ class TickRecord:
 
 
 class ActionLog:
-    """Append-only logical log of game ticks."""
+    """Append-only logical log of game ticks.
+
+    Durability follows the same ``fsync_policy`` vocabulary as the
+    checkpoint stores (``never`` / ``commit`` / ``always``), resolved through
+    :func:`~repro.storage.double_backup.resolve_fsync_policy` so sweeps
+    compare the whole write path under one policy.  Every append *is* this
+    log's commit point (a tick is durable exactly when its record is down),
+    so ``commit`` and ``always`` both fsync per append and ``never`` trusts
+    the OS page cache.
+    """
 
     FILE_NAME = "actions.log"
 
-    def __init__(self, directory: Union[str, os.PathLike], sync: bool = False) -> None:
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        sync: bool = False,
+        fsync_policy: Optional[str] = None,
+    ) -> None:
         self._directory = os.fspath(directory)
-        self._sync = sync
+        self._fsync = resolve_fsync_policy(sync, fsync_policy)
         os.makedirs(self._directory, exist_ok=True)
         self._path = os.path.join(self._directory, self.FILE_NAME)
         self._handle = open(self._path, "a+b")
@@ -71,6 +86,11 @@ class ActionLog:
     def path(self) -> str:
         """Path of the log file."""
         return self._path
+
+    @property
+    def fsync_policy(self) -> str:
+        """Active durability policy (``never`` / ``commit`` / ``always``)."""
+        return self._fsync
 
     @property
     def last_tick(self) -> Optional[int]:
@@ -101,7 +121,9 @@ class ActionLog:
         self._handle.seek(0, os.SEEK_END)
         self._handle.write(pack_record(RECORD_TICK, record.tick, 0, payload))
         self._handle.flush()
-        if self._sync:
+        if self._fsync != "never":
+            # Each append is this log's commit point, so the "commit" and
+            # "always" policies coincide here.
             os.fsync(self._handle.fileno())
         self._last_tick = record.tick
 

@@ -10,7 +10,11 @@ This is the Python analogue of the paper's Section 6 C++ validation setup:
   the same one the durable engine runs -- flushes consistent checkpoints to
   a real :class:`~repro.storage.DoubleBackupStore` on disk, reading shared
   state under striped locks for Copy-on-Update and reading the private
-  snapshot buffer for Naive-Snapshot.
+  snapshot buffer for Naive-Snapshot.  Passing ``writer_pool`` swaps the
+  private thread for a handle on a shared
+  :class:`~repro.engine.writer_pool.CheckpointWriterPool`, so many
+  validation servers (one per measured algorithm/rate point) share K
+  workers exactly like a shard fleet does.
 
 Thread-safety protocol (the paper's Write-Objects-To-Stable-Storage "must be
 thread-safe"): before the mutator writes any object's cells it saves the old
@@ -138,6 +142,7 @@ class RealCheckpointServer:
         writer_chunk_objects: int = 512,
         seed: int = 0,
         verify_consistency: bool = False,
+        writer_pool=None,
     ) -> None:
         if algorithm not in self.SUPPORTED:
             raise ValidationError(
@@ -162,9 +167,17 @@ class RealCheckpointServer:
         self._write_mask = np.zeros(num_objects, dtype=bool)
         self._locks = StripeLockSet(num_objects, num_stripes)
         self._store = DoubleBackupStore(self._directory, geometry)
-        self._writer = AsyncCheckpointWriter(
-            self._store, chunk_objects=writer_chunk_objects, name="repro-writer"
-        )
+        if writer_pool is not None:
+            # A handle on the shared pool duck-types the private writer's
+            # whole mutator-side surface, so nothing below cares which.
+            self._writer = writer_pool.register(
+                self._store, name=f"validate-{algorithm}"
+            )
+        else:
+            self._writer = AsyncCheckpointWriter(
+                self._store, chunk_objects=writer_chunk_objects,
+                name="repro-writer",
+            )
         self._snapshot_source = _SnapshotSource(self)
         self._consistent_source = _ConsistentSource(self)
         # Optional cut-consistency auditing: CRC of the whole state at each

@@ -77,6 +77,42 @@ class TestRecovery:
             assert np.array_equal(recovered.game.table.cells, expected)
             recovered.persistence.close()
 
+    def test_parallel_and_serial_recovery_agree(self, app_factory, tmp_path):
+        """Recovery thread scheduling must not change any recovered state."""
+        fleet = make_fleet(app_factory, tmp_path, num_shards=4)
+        fleet.run_ticks(25, parallel=True)
+        live = [shard.game.table.cells.copy() for shard in fleet.shards]
+        fleet.crash()
+        states = {}
+        for label, parallel in (("serial", False), ("parallel", True)):
+            reports = ShardFleet.recover(
+                app_factory, tmp_path, 4, seed=5, parallel=parallel
+            )
+            states[label] = [
+                report.game.table.cells.copy() for report in reports
+            ]
+            for report in reports:
+                report.persistence.close()
+        for serial, parallel_, expected in zip(
+            states["serial"], states["parallel"], live
+        ):
+            assert np.array_equal(serial, parallel_)
+            assert np.array_equal(serial, expected)
+
+    def test_parallel_recovery_respects_max_workers(
+        self, app_factory, tmp_path
+    ):
+        fleet = make_fleet(app_factory, tmp_path)
+        fleet.run_ticks(10)
+        fleet.crash()
+        reports = ShardFleet.recover(
+            app_factory, tmp_path, 3, seed=5, parallel=True, max_workers=2
+        )
+        assert len(reports) == 3
+        for report in reports:
+            assert report.game.table.cells.size == GEOMETRY.num_cells
+            report.persistence.close()
+
     def test_crash_twice_rejected(self, app_factory, tmp_path):
         fleet = make_fleet(app_factory, tmp_path)
         fleet.run_ticks(5)

@@ -1,0 +1,444 @@
+"""Tests for the shared checkpoint writer pool."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import StateGeometry
+from repro.engine.fleet import ShardFleet
+from repro.engine.server import DurableGameServer
+from repro.engine.writer import CheckpointJob
+from repro.engine.writer_pool import CheckpointWriterPool
+from repro.errors import CheckpointWriterError, StorageError
+from repro.storage.checkpoint_log import CheckpointLogStore
+from repro.storage.double_backup import DoubleBackupStore
+from repro.storage.layout import STATE_EMPTY
+
+GEOMETRY = StateGeometry(rows=400, columns=10)
+
+
+class ArraySource:
+    """Payload source backed by a fixed array (no mutator races)."""
+
+    def __init__(self, objects: np.ndarray) -> None:
+        self._objects = objects
+
+    def read_payloads(self, object_ids: np.ndarray) -> bytes:
+        return self._objects[object_ids].tobytes()
+
+
+class BlockingSource(ArraySource):
+    """Payload source that parks the flushing worker until released."""
+
+    def __init__(self, objects: np.ndarray) -> None:
+        super().__init__(objects)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def read_payloads(self, object_ids: np.ndarray) -> bytes:
+        self.entered.set()
+        self.release.wait(timeout=30.0)
+        return super().read_payloads(object_ids)
+
+
+def make_objects(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(
+        (GEOMETRY.num_objects, GEOMETRY.cells_per_object)
+    ).astype(np.float32)
+
+
+def full_job(source, epoch=1, cut_tick=5, backup_index=0, is_full_dump=False):
+    return CheckpointJob(
+        object_ids=np.arange(GEOMETRY.num_objects, dtype=np.int64),
+        epoch=epoch,
+        cut_tick=cut_tick,
+        source=source,
+        backup_index=backup_index,
+        is_full_dump=is_full_dump,
+    )
+
+
+@pytest.fixture
+def app_factory(random_walk_app):
+    app_class = type(random_walk_app)
+    return lambda index: app_class(GEOMETRY)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"num_workers": 2, "max_pending": 0},
+            {"num_workers": 2, "batch_jobs": 0},
+            {"num_workers": 2, "chunk_objects": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(CheckpointWriterError):
+            CheckpointWriterPool(**kwargs)
+
+    def test_register_after_close_rejected(self, tmp_path):
+        pool = CheckpointWriterPool(1)
+        pool.close()
+        with DoubleBackupStore(tmp_path, GEOMETRY) as store:
+            with pytest.raises(CheckpointWriterError):
+                pool.register(store)
+
+
+class TestRoundTrip:
+    def test_many_shards_few_workers(self, tmp_path):
+        """5 stores of both types flushed correctly by 2 worker threads."""
+        with CheckpointWriterPool(2, batch_jobs=4, chunk_objects=8) as pool:
+            stores, handles, arrays = [], [], []
+            for index in range(5):
+                if index % 2 == 0:
+                    store = DoubleBackupStore(tmp_path / str(index), GEOMETRY)
+                else:
+                    store = CheckpointLogStore(tmp_path / str(index), GEOMETRY)
+                stores.append(store)
+                handles.append(pool.register(store))
+                arrays.append(make_objects(index))
+            for index, handle in enumerate(handles):
+                handle.submit(
+                    full_job(
+                        ArraySource(arrays[index]),
+                        cut_tick=7,
+                        backup_index=0 if index % 2 == 0 else None,
+                        is_full_dump=index % 2 == 1,
+                    )
+                )
+            for handle in handles:
+                assert handle.wait_idle(timeout=10.0)
+            for index, store in enumerate(stores):
+                if index % 2 == 0:
+                    found = store.latest_consistent()
+                    assert (found.epoch, found.tick) == (1, 7)
+                    image = store.read_image(found.backup_index)
+                else:
+                    image, epoch, tick = store.restore_image()
+                    assert (epoch, tick) == (1, 7)
+                assert image == arrays[index].tobytes()
+            stats = pool.stats()
+            assert stats.jobs_completed == 5
+            assert stats.jobs_submitted == 5
+            assert sum(stats.batch_sizes) == 5
+            for store in stores:
+                store.close()
+
+    def test_thread_count_is_pool_sized(self, tmp_path):
+        """10 registered shards never spawn more than num_workers threads."""
+        pool = CheckpointWriterPool(2, name="repro-pool-count")
+        handles = []
+        stores = []
+        for index in range(10):
+            store = DoubleBackupStore(tmp_path / str(index), GEOMETRY)
+            stores.append(store)
+            handles.append(pool.register(store))
+        for index, handle in enumerate(handles):
+            handle.submit(full_job(ArraySource(make_objects(index))))
+        for handle in handles:
+            assert handle.wait_idle(timeout=10.0)
+        pool_threads = [
+            thread for thread in threading.enumerate()
+            if thread.name.startswith("repro-pool-count")
+        ]
+        assert len(pool_threads) == 2
+        pool.close()
+        for store in stores:
+            store.close()
+
+    def test_per_handle_stats_are_isolated(self, tmp_path):
+        with CheckpointWriterPool(1) as pool:
+            store_a = DoubleBackupStore(tmp_path / "a", GEOMETRY)
+            store_b = DoubleBackupStore(tmp_path / "b", GEOMETRY)
+            handle_a = pool.register(store_a, name="a")
+            handle_b = pool.register(store_b, name="b")
+            handle_a.submit(full_job(ArraySource(make_objects(1))))
+            assert handle_a.wait_idle(timeout=10.0)
+            handle_a.submit(full_job(
+                ArraySource(make_objects(1)), epoch=2, cut_tick=9,
+                backup_index=1,
+            ))
+            assert handle_a.wait_idle(timeout=10.0)
+            handle_b.submit(full_job(ArraySource(make_objects(2))))
+            assert handle_b.wait_idle(timeout=10.0)
+            assert handle_a.stats().jobs_completed == 2
+            assert handle_a.last_committed == (2, 9)
+            assert handle_b.stats().jobs_completed == 1
+            assert handle_b.last_committed == (1, 5)
+            store_a.close()
+            store_b.close()
+
+
+class TestFailureIsolation:
+    def test_one_shards_fault_does_not_wedge_others(self, tmp_path):
+        """A store raising mid-flush poisons only its own handle."""
+        with CheckpointWriterPool(1, chunk_objects=8) as pool:
+            bad_store = DoubleBackupStore(tmp_path / "bad", GEOMETRY)
+            good_store = DoubleBackupStore(tmp_path / "good", GEOMETRY)
+
+            calls = {"count": 0}
+
+            def explode():
+                calls["count"] += 1
+                if calls["count"] > 1:  # die on the second chunk
+                    raise StorageError("injected mid-flush fault")
+
+            bad_store.write_fault_hook = explode
+            bad = pool.register(bad_store, name="bad")
+            good = pool.register(good_store, name="good")
+            objects = make_objects(7)
+            bad.submit(full_job(ArraySource(make_objects(3))))
+            good.submit(full_job(ArraySource(objects)))
+            assert bad.wait_idle(timeout=10.0, check=False)
+            assert good.wait_idle(timeout=10.0)
+
+            # The failed shard's handle carries the error...
+            assert isinstance(bad.error, StorageError)
+            with pytest.raises(CheckpointWriterError):
+                bad.check()
+            with pytest.raises(CheckpointWriterError):
+                bad.submit(full_job(ArraySource(make_objects(3)), epoch=2))
+            # ...its store is left with no committed checkpoint...
+            with pytest.raises(Exception):
+                bad_store.latest_consistent()
+            # ...while the other shard committed intact bytes and can keep
+            # checkpointing through the same (still healthy) pool.
+            assert good_store.read_image(0) == objects.tobytes()
+            good.submit(full_job(
+                ArraySource(objects), epoch=2, cut_tick=11, backup_index=1,
+            ))
+            assert good.wait_idle(timeout=10.0)
+            assert good.last_committed == (2, 11)
+            bad.kill()  # retire the failed shard before the orderly close
+            bad_store.close()
+            good_store.close()
+
+    def test_orderly_pool_close_reraises_handle_error(self, tmp_path):
+        pool = CheckpointWriterPool(1)
+        store = DoubleBackupStore(tmp_path, GEOMETRY)
+
+        def explode():
+            raise StorageError("injected fault")
+
+        store.write_fault_hook = explode
+        handle = pool.register(store)
+        handle.submit(full_job(ArraySource(make_objects())))
+        handle.wait_idle(timeout=10.0, check=False)
+        with pytest.raises(CheckpointWriterError):
+            pool.close()
+        store.close()
+
+
+class TestAdmissionControl:
+    def test_submit_while_busy_rejected(self, tmp_path):
+        with CheckpointWriterPool(1) as pool:
+            store = DoubleBackupStore(tmp_path, GEOMETRY)
+            handle = pool.register(store)
+            source = BlockingSource(make_objects())
+            handle.submit(full_job(source))
+            assert source.entered.wait(timeout=10.0)
+            with pytest.raises(CheckpointWriterError):
+                handle.submit(full_job(source, epoch=2, backup_index=1))
+            source.release.set()
+            assert handle.wait_idle(timeout=10.0)
+            store.close()
+
+    def test_saturated_queue_times_out_with_backpressure(self, tmp_path):
+        """max_pending bounds the queue; a full pool pushes back on submit."""
+        pool = CheckpointWriterPool(
+            1, max_pending=1, admission_timeout=0.2
+        )
+        blocker = BlockingSource(make_objects())
+        stores, handles = [], []
+        for index in range(3):
+            store = DoubleBackupStore(tmp_path / str(index), GEOMETRY)
+            stores.append(store)
+            handles.append(pool.register(store))
+        # Job 0 occupies the single worker; job 1 fills the queue slot.
+        handles[0].submit(full_job(blocker))
+        assert blocker.entered.wait(timeout=10.0)
+        handles[1].submit(full_job(ArraySource(make_objects(1))))
+        started = time.perf_counter()
+        with pytest.raises(CheckpointWriterError, match="admission queue"):
+            handles[2].submit(full_job(ArraySource(make_objects(2))))
+        assert time.perf_counter() - started >= 0.2
+        blocker.release.set()
+        for handle in handles[:2]:
+            assert handle.wait_idle(timeout=10.0)
+        pool.close()
+        for store in stores:
+            store.close()
+
+    def test_queue_drains_fifo_over_shards(self, tmp_path):
+        """Round-robin fairness: queued shards commit in submission order."""
+        pool = CheckpointWriterPool(1, batch_jobs=1)
+        blocker = BlockingSource(make_objects())
+        stores, handles = [], []
+        for index in range(4):
+            store = DoubleBackupStore(tmp_path / str(index), GEOMETRY)
+            stores.append(store)
+            handles.append(pool.register(store))
+        commit_order = []
+
+        class RecordingSource(ArraySource):
+            def __init__(self, objects, index):
+                super().__init__(objects)
+                self._index = index
+
+            def read_payloads(self, object_ids):
+                if self._index not in commit_order:
+                    commit_order.append(self._index)
+                return super().read_payloads(object_ids)
+
+        handles[0].submit(full_job(blocker))
+        assert blocker.entered.wait(timeout=10.0)
+        for index in (1, 2, 3):
+            handles[index].submit(
+                full_job(RecordingSource(make_objects(index), index))
+            )
+        blocker.release.set()
+        for handle in handles:
+            assert handle.wait_idle(timeout=10.0)
+        assert commit_order == [1, 2, 3]
+        pool.close()
+        for store in stores:
+            store.close()
+
+
+class TestShutdown:
+    def test_kill_abandons_queued_job_without_touching_store(self, tmp_path):
+        pool = CheckpointWriterPool(1)
+        blocker = BlockingSource(make_objects())
+        store_a = DoubleBackupStore(tmp_path / "a", GEOMETRY)
+        store_b = DoubleBackupStore(tmp_path / "b", GEOMETRY)
+        handle_a = pool.register(store_a)
+        handle_b = pool.register(store_b)
+        handle_a.submit(full_job(blocker))
+        assert blocker.entered.wait(timeout=10.0)
+        handle_b.submit(full_job(ArraySource(make_objects(1))))
+        # Kill the queued handle: its job is dropped before any write.
+        handle_b.kill(timeout=10.0)
+        assert handle_b.stats().jobs_abandoned == 1
+        assert store_b.header(0).state == STATE_EMPTY  # never touched
+        blocker.release.set()
+        assert handle_a.wait_idle(timeout=10.0)
+        pool.close()
+        store_a.close()
+        store_b.close()
+
+    def test_orderly_close_drains_queued_jobs(self, tmp_path):
+        pool = CheckpointWriterPool(1, batch_jobs=1)
+        stores, handles, arrays = [], [], []
+        for index in range(3):
+            store = DoubleBackupStore(tmp_path / str(index), GEOMETRY)
+            stores.append(store)
+            handles.append(pool.register(store))
+            arrays.append(make_objects(index))
+            handles[index].submit(full_job(ArraySource(arrays[index])))
+        pool.close(wait=True)  # drains all three to commit
+        for index, store in enumerate(stores):
+            assert store.read_image(0) == arrays[index].tobytes()
+            store.close()
+
+    def test_submit_after_close_rejected(self, tmp_path):
+        pool = CheckpointWriterPool(1)
+        store = DoubleBackupStore(tmp_path, GEOMETRY)
+        handle = pool.register(store)
+        pool.close()
+        with pytest.raises(CheckpointWriterError):
+            handle.submit(full_job(ArraySource(make_objects())))
+        store.close()
+
+
+class TestEngineIntegration:
+    def test_two_servers_share_one_pool(self, random_walk_app, tmp_path):
+        app_class = type(random_walk_app)
+        with CheckpointWriterPool(1) as pool:
+            servers = [
+                DurableGameServer(
+                    app_class(GEOMETRY), tmp_path / str(index),
+                    algorithm="copy-on-update", seed=index,
+                    writer_pool=pool, writer_name=f"server-{index}",
+                )
+                for index in range(2)
+            ]
+            for server in servers:
+                assert server.async_writer
+                server.run_ticks(40)
+            live = [server.table.cells.copy() for server in servers]
+            for server in servers:
+                server.crash()
+            from repro.engine.recovery import RecoveryManager
+            for index in range(2):
+                report = RecoveryManager(
+                    app_class(GEOMETRY), tmp_path / str(index), seed=index
+                ).recover()
+                assert np.array_equal(report.table.cells, live[index])
+
+    def test_pooled_fleet_matches_per_shard_writer_fleet(
+        self, app_factory, tmp_path
+    ):
+        """pool_size=K is a pure I/O-scheduling change: same game states."""
+        cells = {}
+        for label, kwargs in (
+            ("pool", {"pool_size": 2}),
+            ("own", {"async_writer": True}),
+        ):
+            fleet = ShardFleet(
+                app_factory, tmp_path / label, num_shards=3, seed=5, **kwargs
+            )
+            with fleet:
+                fleet.run_ticks(20, parallel=True)
+                cells[label] = [
+                    shard.game.table.cells.copy() for shard in fleet.shards
+                ]
+        for pooled, own in zip(cells["pool"], cells["own"]):
+            assert np.array_equal(pooled, own)
+
+    def test_pooled_fleet_crash_recovers_bit_exact(self, app_factory, tmp_path):
+        fleet = ShardFleet(
+            app_factory, tmp_path, num_shards=3, seed=5, pool_size=2
+        )
+        fleet.run_ticks(25, parallel=True)
+        assert fleet.writer_threads == 2
+        live = [shard.game.table.cells.copy() for shard in fleet.shards]
+        fleet.crash()
+        reports = ShardFleet.recover(app_factory, tmp_path, 3, seed=5)
+        for recovered, expected in zip(reports, live):
+            assert np.array_equal(recovered.game.table.cells, expected)
+            recovered.persistence.close()
+
+    def test_pool_fault_on_one_shard_leaves_others_recoverable(
+        self, app_factory, tmp_path
+    ):
+        """Mid-flush fault on shard 0 must not corrupt shards 1 and 2."""
+        fleet = ShardFleet(
+            app_factory, tmp_path, num_shards=3, seed=5, pool_size=1,
+        )
+        calls = {"count": 0}
+
+        def explode():
+            calls["count"] += 1
+            if calls["count"] > 1:
+                raise StorageError("injected mid-flush fault")
+
+        fleet.shards[0].game._store.write_fault_hook = explode
+        with pytest.raises(CheckpointWriterError):
+            for _ in range(500):
+                for shard in fleet.shards:
+                    shard.run_tick()
+        assert calls["count"] > 1, "fault hook never fired mid-flush"
+        # The healthy shards keep ticking through the same pool.
+        for shard in fleet.shards[1:]:
+            shard.run_ticks(20)
+        live = [shard.game.table.cells.copy() for shard in fleet.shards]
+        fleet.crash()
+        reports = ShardFleet.recover(app_factory, tmp_path, 3, seed=5)
+        for recovered, expected in zip(reports, live):
+            assert np.array_equal(recovered.game.table.cells, expected)
+            recovered.persistence.close()

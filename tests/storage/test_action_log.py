@@ -54,6 +54,37 @@ class TestAppendAndRead:
                 log.append(TickRecord(tick=-1, rng_state=rng_state(0)))
 
 
+class TestFsyncPolicy:
+    def test_legacy_sync_flag_maps_to_policy(self, tmp_path):
+        assert ActionLog(tmp_path / "a").fsync_policy == "never"
+        assert ActionLog(tmp_path / "b", sync=True).fsync_policy == "always"
+
+    def test_explicit_policy_wins_over_sync_flag(self, tmp_path):
+        log = ActionLog(tmp_path, sync=True, fsync_policy="never")
+        assert log.fsync_policy == "never"
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            ActionLog(tmp_path, fsync_policy="sometimes")
+
+    @pytest.mark.parametrize("policy", ["never", "commit", "always"])
+    def test_appends_fsync_per_policy(self, tmp_path, policy, monkeypatch):
+        """Every append is a commit point, so commit == always for the log."""
+        import repro.storage.action_log as module
+
+        calls = []
+        real_fsync = module.os.fsync
+        monkeypatch.setattr(
+            module.os, "fsync",
+            lambda fd: (calls.append(fd), real_fsync(fd))[1],
+        )
+        with ActionLog(tmp_path, fsync_policy=policy) as log:
+            log.append(TickRecord(tick=0, rng_state=rng_state(0)))
+            log.append(TickRecord(tick=1, rng_state=rng_state(1)))
+        expected = 0 if policy == "never" else 2
+        assert len(calls) == expected
+
+
 class TestDurability:
     def test_reopen_continues(self, tmp_path):
         with ActionLog(tmp_path) as log:
