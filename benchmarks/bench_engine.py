@@ -12,6 +12,16 @@ same-thread drain, on the real Knights-and-Archers game:
 * **writer pool**: the same fleet with a shared
   :class:`~repro.engine.writer_pool.CheckpointWriterPool` across pool sizes
   -- writer thread count, throughput, and batch coalescing stats;
+* **flush path**: checkpoint flush throughput (MiB/s) per disk layout at
+  ``fsync_policy=commit``, chunked writes vs the coalesced gathered-write
+  path -- the isolated measurement of the vectored I/O rework;
+* **coalesced I/O**: the same comparison end to end, a pooled fleet at
+  ``fsync_policy=commit`` with coalescing on vs off;
+* **admission overload**: a synthetic saturated pool (one worker, every
+  handle always queued, a fixed-lag straggler cut submitted last) comparing
+  per-commit checkpoint age under ``fifo`` vs ``staleness`` admission at 1x
+  and 2x backlog -- FIFO's worst-case age grows with the backlog while
+  staleness admission keeps it pinned near the straggler's lag;
 * **durability sweep**: ticks/sec and latency under
   ``fsync_policy in {never, commit, always}`` on the whole write path
   (checkpoint store + logical log);
@@ -36,6 +46,7 @@ import os
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -43,11 +54,21 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.config import StateGeometry  # noqa: E402
 from repro.core.registry import ALGORITHM_KEYS  # noqa: E402
 from repro.engine.fleet import ShardFleet, shard_directory  # noqa: E402
 from repro.engine.recovery import RecoveryManager  # noqa: E402
 from repro.engine.server import DurableGameServer  # noqa: E402
 from repro.engine.shard import MMOShard  # noqa: E402
+from repro.engine.writer import (  # noqa: E402
+    DEFAULT_CHUNK_OBJECTS,
+    CheckpointJob,
+    flush_checkpoint_job,
+    flush_checkpoint_job_vectored,
+)
+from repro.engine.writer_pool import CheckpointWriterPool  # noqa: E402
+from repro.storage.checkpoint_log import CheckpointLogStore  # noqa: E402
+from repro.storage.double_backup import DoubleBackupStore  # noqa: E402
 from repro.game.knights_archers import KnightsArchersGame  # noqa: E402
 from repro.game.scenario import PAPER_SCALE_SCENARIO, BattleScenario  # noqa: E402
 
@@ -128,16 +149,26 @@ def measure_fleet(
     min_interval: int,
     num_shards: int,
     pool_size: int = None,
+    fsync_policy: str = None,
+    pool_admission: str = "staleness",
+    pool_coalesce: bool = True,
 ) -> dict:
     """Aggregate async throughput of ``num_shards`` concurrent shards.
 
     ``pool_size=None`` gives every shard its own writer thread (the PR 2
     shape); ``pool_size=K`` routes every shard through one shared
-    ``CheckpointWriterPool`` of K workers.
+    ``CheckpointWriterPool`` of K workers.  ``pool_admission`` and
+    ``pool_coalesce`` select the pool's queue service order and whether jobs
+    land as single gathered vectored writes; ``fsync_policy`` applies to the
+    whole write path, as in the durability sweep.
     """
     kwargs = {"async_writer": True} if pool_size is None else {
-        "pool_size": pool_size
+        "pool_size": pool_size,
+        "pool_admission": pool_admission,
+        "pool_coalesce": pool_coalesce,
     }
+    if fsync_policy is not None:
+        kwargs["fsync_policy"] = fsync_policy
     fleet = ShardFleet(
         lambda index: KnightsArchersGame(scenario),
         directory,
@@ -153,12 +184,16 @@ def measure_fleet(
         pool_stats = (
             fleet.writer_pool.stats() if fleet.writer_pool is not None else None
         )
+        # Sampled while the last checkpoints may still be in flight -- the
+        # live fleet-side age gauge, not a post-drain zero.
+        end_of_run_age = fleet.max_checkpoint_age
     finally:
         fleet.close()
     checkpoints = sum(s.checkpoints_completed for s in report.shard_stats)
     point = {
         "num_shards": num_shards,
         "pool_size": pool_size,
+        "fsync_policy": fsync_policy or "never",
         "writer_threads": writer_threads,
         "ticks_per_shard": ticks,
         "wall_seconds": report.wall_seconds,
@@ -166,13 +201,347 @@ def measure_fleet(
         "checkpoints_completed": checkpoints,
     }
     if pool_stats is not None:
+        point["admission"] = pool_admission
+        point["coalesce"] = pool_coalesce
         point["pool"] = {
             "jobs_completed": pool_stats.jobs_completed,
             "batches_flushed": pool_stats.batches_flushed,
             "mean_batch_size": pool_stats.mean_batch_size,
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(
+                    pool_stats.batch_size_histogram.items()
+                )
+            },
             "max_queue_depth": pool_stats.max_queue_depth,
+            "coalesced_jobs": pool_stats.coalesced_jobs,
+            "chunked_jobs": pool_stats.chunked_jobs,
+            "max_picked_staleness_ticks":
+                pool_stats.max_picked_staleness_ticks,
+            "end_of_run_checkpoint_age_ticks": end_of_run_age,
         }
     return point
+
+
+class _ZeroSource:
+    """Constant payloads for the store-level flush benchmark."""
+
+    def __init__(self, geometry):
+        self._geometry = geometry
+
+    def read_payloads(self, object_ids):
+        return np.zeros(
+            object_ids.size * self._geometry.object_bytes, dtype=np.uint8
+        )
+
+
+def measure_flush_path(root: str, rows: int, rounds: int) -> dict:
+    """Checkpoint landing throughput, chunked vs coalesced, per disk layout.
+
+    Times the store landing stage -- the code the coalescing rework
+    touched -- with pre-gathered chunks at ``fsync_policy=commit``:
+    full-dump checkpoints of ``rows**2 * 8`` state bytes, ``rounds``
+    commits each.  The chunked path issues one write/pwrite per
+    ``DEFAULT_CHUNK_OBJECTS`` slice (plus per-chunk sort and gather
+    copies on the double backup); the coalesced path lands the whole
+    checkpoint as one gathered ``writev`` (log) or one globally-sorted
+    zero-copy ``pwritev`` pass (double backup), one data fsync either
+    way.  The mutator-side snapshot read (``source.read_payloads``) is
+    identical shared code on both paths, so it is hoisted out of the
+    timed region rather than diluting the ratio.
+    """
+    geometry = StateGeometry(
+        rows=rows, columns=rows, cell_bytes=8, object_bytes=512
+    )
+    object_ids = np.arange(geometry.num_objects)
+    source = _ZeroSource(geometry)
+    chunks = [
+        (slice_ids, source.read_payloads(slice_ids))
+        for slice_ids in (
+            object_ids[start: start + DEFAULT_CHUNK_OBJECTS]
+            for start in range(0, object_ids.size, DEFAULT_CHUNK_OBJECTS)
+        )
+    ]
+    checkpoint_bytes = geometry.num_objects * geometry.object_bytes
+    results = {
+        "fsync_policy": "commit",
+        "checkpoint_bytes": checkpoint_bytes,
+        "chunk_objects": DEFAULT_CHUNK_OBJECTS,
+        "rounds": rounds,
+    }
+
+    def land_chunked(store, epoch, backup_index):
+        if isinstance(store, DoubleBackupStore):
+            store.begin_checkpoint(backup_index, epoch)
+        else:
+            store.begin_checkpoint(epoch, True)
+        for chunk_ids, payloads in chunks:
+            if isinstance(store, DoubleBackupStore):
+                store.write_objects(chunk_ids, payloads)
+            else:
+                store.append_objects(chunk_ids, payloads)
+        store.commit_checkpoint(epoch)
+
+    def land_coalesced(store, epoch, backup_index):
+        if isinstance(store, DoubleBackupStore):
+            store.begin_checkpoint(backup_index, epoch)
+        else:
+            store.begin_checkpoint(epoch, True)
+        store.write_checkpoint_vectored(chunks, epoch)
+
+    variants = (("chunked", land_chunked), ("coalesced", land_coalesced))
+    for layout, store_cls in (
+        ("log", CheckpointLogStore), ("double_backup", DoubleBackupStore)
+    ):
+        stores = {}
+        durations = {label: [] for label, _ in variants}
+        for label, _ in variants:
+            directory = os.path.join(root, f"flush-{layout}-{label}")
+            stores[label] = store_cls(directory, geometry,
+                                      fsync_policy="commit")
+        # Interleave the variants round-robin (with one untimed warmup
+        # round) so ambient noise -- page-cache writeback of earlier
+        # rounds, other tenants on a shared CI host -- hits both write
+        # paths equally instead of biasing whichever runs second, and
+        # take the per-round median so one stalled fsync cannot swing
+        # the comparison.
+        for epoch in range(1, rounds + 2):
+            for label, land in variants:
+                started = time.perf_counter()
+                land(stores[label], epoch, epoch % 2)
+                if epoch > 1:
+                    durations[label].append(time.perf_counter() - started)
+        point = {}
+        for label, _ in variants:
+            stores[label].close()
+            median = float(np.median(durations[label]))
+            point[label] = {
+                "checkpoints_per_second": 1 / median if median > 0 else 0.0,
+                "mib_per_second": (
+                    checkpoint_bytes / 2**20 / median if median > 0 else 0.0
+                ),
+            }
+        chunked = point["chunked"]["mib_per_second"]
+        point["throughput_improvement"] = (
+            point["coalesced"]["mib_per_second"] / chunked
+            if chunked > 0 else 0.0
+        )
+        results[layout] = point
+    return results
+
+
+def measure_coalescing(
+    scenario: BattleScenario,
+    root: str,
+    algorithm: str,
+    seed: int,
+    ticks: int,
+    min_interval: int,
+    num_shards: int,
+    pool_size: int,
+) -> dict:
+    """Pooled fleet at ``fsync_policy=commit``, gathered writes on vs off.
+
+    The end-to-end companion to :func:`measure_flush_path`: same fleet, same
+    cadence, only the pool's ``coalesce`` flag differs.  On hosts where the
+    page cache absorbs checkpoint writes the mutator threads dominate the
+    aggregate ticks/second and this comparison sits inside run-to-run noise;
+    the flush-path numbers are the isolated signal, this one shows the
+    whole-system effect.
+    """
+    points = {}
+    for label, coalesce in (("chunked", False), ("coalesced", True)):
+        points[label] = measure_fleet(
+            scenario,
+            os.path.join(root, f"coalesce-{label}"),
+            algorithm,
+            seed,
+            ticks,
+            min_interval,
+            num_shards,
+            pool_size=pool_size,
+            fsync_policy="commit",
+            pool_coalesce=coalesce,
+        )
+    chunked_tps = points["chunked"]["ticks_per_second"]
+    coalesced_tps = points["coalesced"]["ticks_per_second"]
+    return {
+        "fsync_policy": "commit",
+        "num_shards": num_shards,
+        "pool_size": pool_size,
+        "chunked": points["chunked"],
+        "coalesced": points["coalesced"],
+        "throughput_improvement": (
+            coalesced_tps / chunked_tps if chunked_tps > 0 else 0.0
+        ),
+        "coalesced_faster": coalesced_tps > chunked_tps,
+    }
+
+
+class _MeteredSource:
+    """Zero payloads plus a shared service clock for the admission study.
+
+    One ``read_payloads`` call is one job's service (the study geometry fits
+    a whole checkpoint in a single chunk), and each service advances the
+    shared fleet-wide tick clock by one -- so checkpoint ages come out in
+    deterministic virtual ticks, not wall-clock noise.  The gate holds the
+    worker until a submission wave is fully queued, which is what keeps the
+    pool saturated (every handle always waiting) and makes the arrival order
+    adversarial on purpose.
+    """
+
+    def __init__(self, geometry, clock, clock_lock, gate):
+        self._geometry = geometry
+        self._clock = clock
+        self._clock_lock = clock_lock
+        self._gate = gate
+        #: Clock value right after each of this shard's jobs was serviced.
+        self.service_clocks = []
+
+    def read_payloads(self, object_ids):
+        self._gate.wait()
+        with self._clock_lock:
+            self._clock[0] += 1
+            self.service_clocks.append(self._clock[0])
+        return np.zeros(
+            object_ids.size * self._geometry.object_bytes, dtype=np.uint8
+        )
+
+
+def _run_admission_study(
+    root: str, admission: str, num_shards: int, waves: int, lag: int
+) -> dict:
+    """Per-commit checkpoint ages for one admission policy, one backlog.
+
+    One worker, ``num_shards`` log-store handles, ``waves`` submission
+    rounds.  Every wave queues all shards before any job is serviced
+    (sustained saturation: the ready queue always holds the whole fleet),
+    and shard 0 is the straggler -- its cut happened ``lag`` ticks before
+    the wave but its submission *arrives last*, the adversarial race FIFO
+    order is blind to.  Returns the p99/max/mean of per-commit checkpoint
+    age (service-clock tick minus cut tick) across every commit.
+    """
+    geometry = StateGeometry(rows=8, columns=8, cell_bytes=4, object_bytes=32)
+    clock = [lag]  # start at `lag` so the straggler's first cut is tick 0
+    clock_lock = threading.Lock()
+    gate = threading.Event()
+    sources = [
+        _MeteredSource(geometry, clock, clock_lock, gate)
+        for _ in range(num_shards)
+    ]
+    cuts = [[] for _ in range(num_shards)]
+    object_ids = np.arange(geometry.num_objects)
+    pool = CheckpointWriterPool(
+        1, batch_jobs=1, admission=admission,
+        name=f"bench-admission-{admission}",
+    )
+    stores = []
+    try:
+        for shard in range(num_shards):
+            directory = os.path.join(
+                root, f"admission-{admission}-{num_shards}", f"shard-{shard}"
+            )
+            os.makedirs(directory, exist_ok=True)
+            stores.append(CheckpointLogStore(directory, geometry))
+        handles = [
+            pool.register(store, name=f"shard-{index:02d}")
+            for index, store in enumerate(stores)
+        ]
+        for wave in range(waves):
+            gate.clear()
+            with clock_lock:
+                wave_clock = clock[0]
+            # Fresh shards first, the straggler's older cut last.
+            order = list(range(1, num_shards)) + [0]
+            for shard in order:
+                cut = wave_clock - lag if shard == 0 else wave_clock
+                cuts[shard].append(cut)
+                handles[shard].submit(CheckpointJob(
+                    object_ids=object_ids,
+                    epoch=wave + 1,
+                    cut_tick=cut,
+                    source=sources[shard],
+                    is_full_dump=True,
+                ))
+            gate.set()
+            for handle in handles:
+                handle.wait_idle(timeout=60.0)
+        stats = pool.stats()
+    finally:
+        gate.set()  # never strand a worker mid-wave on an error path
+        pool.close(timeout=30.0, wait=False)
+        for store in stores:
+            store.close()
+    ages = np.array([
+        serviced - cut
+        for shard in range(num_shards)
+        for serviced, cut in zip(sources[shard].service_clocks, cuts[shard])
+    ], dtype=np.float64)
+    straggler_ages = np.array([
+        serviced - cut
+        for serviced, cut in zip(sources[0].service_clocks, cuts[0])
+    ], dtype=np.float64)
+    return {
+        "admission": admission,
+        "num_shards": num_shards,
+        "commits": int(ages.size),
+        "p99_age_ticks": percentile(ages, 99),
+        "max_age_ticks": float(ages.max()) if ages.size else 0.0,
+        "mean_age_ticks": float(ages.mean()) if ages.size else 0.0,
+        "straggler_max_age_ticks": (
+            float(straggler_ages.max()) if straggler_ages.size else 0.0
+        ),
+        "max_picked_staleness_ticks": stats.max_picked_staleness_ticks,
+    }
+
+
+def measure_admission_overload(
+    root: str, num_shards: int, waves: int, lag: int
+) -> dict:
+    """FIFO vs staleness admission under a saturated pool, 1x vs 2x backlog.
+
+    The demonstration the staleness queue exists for: under sustained
+    overload with an adversarial arrival order, FIFO's worst-case checkpoint
+    age is ``lag + backlog`` -- it grows without bound as the backlog does
+    (the 2x run roughly doubles the FIFO tail) -- while staleness admission
+    services the oldest cut first and pins the straggler's age near
+    ``lag + 1`` regardless of how deep the queue is.
+    """
+    scales = {}
+    for scale in (1, 2):
+        shards = num_shards * scale
+        scales[f"{scale}x"] = {
+            policy: _run_admission_study(root, policy, shards, waves, lag)
+            for policy in ("fifo", "staleness")
+        }
+    one_x, two_x = scales["1x"], scales["2x"]
+
+    def growth(metric):
+        def ratio(numerator, denominator):
+            return numerator / denominator if denominator > 0 else 0.0
+        return {
+            policy: ratio(two_x[policy][metric], one_x[policy][metric])
+            for policy in ("fifo", "staleness")
+        }
+
+    # Staleness admission is "bounded" when doubling the backlog leaves its
+    # age tail where the straggler's lag put it; FIFO's tail tracks the
+    # backlog instead.
+    bound = lag + 3  # lag + straggler's own service + one in-flight job
+    return {
+        "workers": 1,
+        "base_num_shards": num_shards,
+        "waves": waves,
+        "straggler_lag_ticks": lag,
+        "age_bound_ticks": bound,
+        "scales": scales,
+        "max_age_growth_2x_over_1x": growth("max_age_ticks"),
+        "staleness_bounded": (
+            two_x["staleness"]["straggler_max_age_ticks"] <= bound
+            and one_x["staleness"]["straggler_max_age_ticks"] <= bound
+        ),
+        "fifo_exceeds_bound": two_x["fifo"]["max_age_ticks"] > bound,
+    }
 
 
 def measure_durability_sweep(
@@ -411,6 +780,23 @@ def main(argv=None) -> int:
     parser.add_argument("--pool-sizes", type=int, nargs="*", default=[1, 2, 4],
                         help="writer pool sizes for the pooled fleet section "
                              "(default: 1 2 4)")
+    parser.add_argument("--coalesce-pool-size", type=int, default=2,
+                        help="pool size for the coalesced-I/O comparison at "
+                             "fsync=commit (default 2)")
+    parser.add_argument("--flush-rows", type=int, default=512,
+                        help="state-table side for the flush-path benchmark "
+                             "(default 512 -> 2 MiB checkpoints)")
+    parser.add_argument("--flush-rounds", type=int, default=30,
+                        help="checkpoints per flush-path variant (default 30)")
+    parser.add_argument("--overload-shards", type=int, default=8,
+                        help="base shard count for the admission-overload "
+                             "study; the 2x point doubles it (default 8)")
+    parser.add_argument("--overload-waves", type=int, default=12,
+                        help="submission waves per admission-overload run "
+                             "(default 12)")
+    parser.add_argument("--overload-lag", type=int, default=4,
+                        help="straggler cut lag in ticks for the "
+                             "admission-overload study (default 4)")
     parser.add_argument("--recovery-shards", type=int, default=8,
                         help="fleet size for the recovery timing (default 8)")
     parser.add_argument("--recovery-disk-mbps", type=float, default=100.0,
@@ -429,6 +815,9 @@ def main(argv=None) -> int:
         args.ticks = min(args.ticks, 60)
         args.units = min(args.units, 2048)
         args.pool_sizes = [size for size in args.pool_sizes if size <= 2]
+        args.coalesce_pool_size = min(args.coalesce_pool_size, 2)
+        args.overload_shards = min(args.overload_shards, 4)
+        args.overload_waves = min(args.overload_waves, 6)
         args.recovery_shards = min(args.recovery_shards, 4)
 
     scenario = BattleScenario(num_units=args.units)
@@ -442,6 +831,12 @@ def main(argv=None) -> int:
             "min_checkpoint_interval_ticks": args.min_checkpoint_interval,
             "max_shards": args.shards,
             "pool_sizes": args.pool_sizes,
+            "coalesce_pool_size": args.coalesce_pool_size,
+            "flush_rows": args.flush_rows,
+            "flush_rounds": args.flush_rounds,
+            "overload_shards": args.overload_shards,
+            "overload_waves": args.overload_waves,
+            "overload_lag": args.overload_lag,
             "recovery_shards": args.recovery_shards,
             "recovery_disk_mbps": args.recovery_disk_mbps,
             "seed": args.seed,
@@ -545,6 +940,56 @@ def main(argv=None) -> int:
                 },
             }
 
+        print(f"flush path ({args.flush_rows}x{args.flush_rows} state, "
+              f"{args.flush_rounds} checkpoints/variant, fsync=commit):")
+        flush_path = measure_flush_path(
+            root, args.flush_rows, args.flush_rounds
+        )
+        results["flush_path"] = flush_path
+        for layout in ("log", "double_backup"):
+            point = flush_path[layout]
+            print(f"  {layout:13s}: "
+                  f"chunked {point['chunked']['mib_per_second']:7.1f} MiB/s  "
+                  f"coalesced {point['coalesced']['mib_per_second']:7.1f} "
+                  f"MiB/s  ({point['throughput_improvement']:.2f}x)")
+
+        pool_for_coalesce = min(args.coalesce_pool_size, args.shards)
+        print(f"coalesced I/O ({args.shards} shards, "
+              f"pool={pool_for_coalesce}, fsync=commit):")
+        coalescing = measure_coalescing(
+            scenario, root, args.algorithm, args.seed, args.ticks,
+            args.min_checkpoint_interval, args.shards,
+            pool_size=pool_for_coalesce,
+        )
+        results["coalescing"] = coalescing
+        for label in ("chunked", "coalesced"):
+            point = coalescing[label]
+            print(f"  {label:9s}: {point['ticks_per_second']:8.1f} t/s  "
+                  f"mean batch {point['pool']['mean_batch_size']:.2f}  "
+                  f"gathered jobs {point['pool']['coalesced_jobs']}")
+        print(f"  coalesced/chunked throughput: "
+              f"{coalescing['throughput_improvement']:.2f}x")
+
+        print(f"admission overload ({args.overload_shards}/"
+              f"{2 * args.overload_shards} shards, 1 worker, "
+              f"straggler lag {args.overload_lag} ticks):")
+        overload = measure_admission_overload(
+            root, args.overload_shards, args.overload_waves,
+            args.overload_lag,
+        )
+        results["admission_overload"] = overload
+        for scale in ("1x", "2x"):
+            for policy in ("fifo", "staleness"):
+                point = overload["scales"][scale][policy]
+                print(f"  {scale} {policy:9s}: "
+                      f"p99 age {point['p99_age_ticks']:6.1f} ticks  "
+                      f"max {point['max_age_ticks']:6.1f}  "
+                      f"straggler max {point['straggler_max_age_ticks']:6.1f}")
+        print(f"  staleness bounded at lag+3={overload['age_bound_ticks']} "
+              f"ticks: {overload['staleness_bounded']}  "
+              f"(FIFO max-age growth 2x/1x: "
+              f"{overload['max_age_growth_2x_over_1x']['fifo']:.2f}x)")
+
         print("durability sweep (async, whole write path):")
         sweep = measure_durability_sweep(
             scenario, root, args.algorithm, args.seed, args.ticks,
@@ -589,6 +1034,20 @@ def main(argv=None) -> int:
         print("WARNING: async mean tick latency was not below the "
               "synchronous baseline on this host", file=sys.stderr)
         return 1
+    for layout in ("log", "double_backup"):
+        if flush_path[layout]["throughput_improvement"] <= 1.0:
+            print(f"WARNING: coalesced gathered writes did not beat the "
+                  f"chunked flush path on the {layout} layout at "
+                  f"fsync=commit on this host", file=sys.stderr)
+    if not coalescing["coalesced_faster"]:
+        print("WARNING: end-to-end fleet throughput with coalescing on did "
+              "not beat coalescing off at fsync=commit on this host "
+              "(mutator-bound; see flush_path for the isolated write path)",
+              file=sys.stderr)
+    if not overload["staleness_bounded"]:
+        print("ERROR: staleness admission failed to bound the straggler's "
+              "checkpoint age", file=sys.stderr)
+        return 4
     if not determinism["all_bit_identical"]:
         print("ERROR: serial and threaded runs recovered different state",
               file=sys.stderr)

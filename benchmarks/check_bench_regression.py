@@ -33,6 +33,21 @@ KEY_METRICS = [
      "durability sweep (never) throughput", True),
     (("durability_sweep", "always", "ticks_per_second"),
      "durability sweep (always) throughput", True),
+    (("flush_path", "log", "coalesced", "mib_per_second"),
+     "log-layout coalesced flush throughput", True),
+    (("flush_path", "double_backup", "coalesced", "mib_per_second"),
+     "double-backup coalesced flush throughput", True),
+    (("flush_path", "log", "throughput_improvement"),
+     "log-layout coalesced-over-chunked ratio", True),
+    (("flush_path", "double_backup", "throughput_improvement"),
+     "double-backup coalesced-over-chunked ratio", True),
+    (("coalescing", "coalesced", "ticks_per_second"),
+     "coalesced pool throughput (fsync=commit)", True),
+    (("admission_overload", "scales", "2x", "staleness", "p99_age_ticks"),
+     "staleness admission p99 checkpoint age (2x backlog)", False),
+    (("admission_overload", "scales", "2x", "staleness",
+      "straggler_max_age_ticks"),
+     "staleness admission straggler max age (2x backlog)", False),
     (("fleet_recovery", "speedup"),
      "modeled parallel recovery speedup", True),
 ]

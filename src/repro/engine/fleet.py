@@ -74,6 +74,8 @@ class ShardFleet:
         pool_size: Optional[int] = None,
         pool_max_pending: Optional[int] = None,
         pool_batch_jobs: int = 8,
+        pool_admission: str = "staleness",
+        pool_coalesce: bool = True,
         **shard_kwargs,
     ) -> None:
         if num_shards <= 0:
@@ -86,6 +88,8 @@ class ShardFleet:
                 pool_size,
                 max_pending=pool_max_pending,
                 batch_jobs=pool_batch_jobs,
+                admission=pool_admission,
+                coalesce=pool_coalesce,
             )
             shard_kwargs = dict(shard_kwargs)
             shard_kwargs["writer_pool"] = self._pool
@@ -149,6 +153,32 @@ class ShardFleet:
         if self._crashed:
             return 0
         return sum(1 for shard in self._shards if shard.game.async_writer)
+
+    def checkpoint_ages(self) -> List[int]:
+        """Per-shard checkpoint age, in ticks, at this instant.
+
+        A shard's checkpoint age is the number of ticks it has run beyond
+        its newest *durable* checkpoint cut -- exactly the log-replay work
+        its recovery would pay if the fleet crashed right now (a shard with
+        no durable checkpoint yet is as old as its whole tick count).  This
+        is the fleet-level view of the gauge the writer pool tracks per
+        handle (``PoolStats.max_checkpoint_age_ticks``); here it is measured
+        against the shards' live tick counters, so time a checkpoint spends
+        queued *or* in flight counts against the age.
+        """
+        ages = []
+        for shard in self._shards:
+            server = shard.game
+            committed = server.last_committed_checkpoint_tick
+            baseline = -1 if committed is None else committed
+            ages.append(max(0, server.ticks_run - 1 - baseline))
+        return ages
+
+    @property
+    def max_checkpoint_age(self) -> int:
+        """The stalest shard's checkpoint age in ticks (the quantity a
+        worst-case recovery-time bound is built from)."""
+        return max(self.checkpoint_ages(), default=0)
 
     # ------------------------------------------------------------------
     # Driving the fleet

@@ -49,6 +49,15 @@ _SENTINEL = None
 #: sees batched I/O (256 KiB at the paper's 512-byte objects).
 DEFAULT_CHUNK_OBJECTS = 512
 
+#: Largest checkpoint the coalesced flush path will stage in memory before
+#: landing it as one gathered write; bigger jobs fall back to the chunked
+#: path rather than ballooning the writer's footprint.
+DEFAULT_MAX_GATHER_BYTES = 64 << 20
+
+#: Newest per-checkpoint durations a :class:`WriterStats` retains; long-lived
+#: fleets keep a sliding window instead of an ever-growing list.
+DURATION_WINDOW = 4096
+
 
 def flush_checkpoint_job(
     store: StoreType,
@@ -94,6 +103,53 @@ def flush_checkpoint_job(
     return True
 
 
+def flush_checkpoint_job_vectored(
+    store: StoreType,
+    job: CheckpointJob,
+    chunk_objects: int,
+    should_abandon=None,
+    on_chunk_written=None,
+) -> bool:
+    """Flush one :class:`CheckpointJob` as a single coalesced store write.
+
+    The cut-consistent payload reads stay chunked exactly like
+    :func:`flush_checkpoint_job` -- ``chunk_objects`` at a time, so stripe
+    locks are held only briefly and ``should_abandon`` is honored at every
+    chunk boundary -- but nothing touches the disk until the whole job has
+    been gathered.  The accumulated chunks then land through the store's
+    ``write_checkpoint_vectored`` entry point: one gathered ``writev`` of
+    every record plus the commit marker for the log organization, one
+    globally-sorted ``pwritev`` pass for the double backup, and at most one
+    data fsync either way.
+
+    An abandon request during the gather aborts before a single byte is
+    written (the strictest possible crash semantics: the store keeps only
+    its begin marker); a store fault surfaces exactly as in the chunked
+    path.  ``on_chunk_written`` receives the job's full byte count once the
+    gathered write has landed.
+    """
+    double_backup = isinstance(store, DoubleBackupStore)
+    if double_backup:
+        store.begin_checkpoint(job.backup_index, job.epoch)
+    else:
+        store.begin_checkpoint(job.epoch, job.is_full_dump)
+    ids = job.object_ids
+    chunks = []
+    for start in range(0, ids.size, chunk_objects):
+        if should_abandon is not None and should_abandon():
+            store.abort_checkpoint()
+            return False
+        chunk = ids[start: start + chunk_objects]
+        chunks.append((chunk, job.source.read_payloads(chunk)))
+    if should_abandon is not None and should_abandon():
+        store.abort_checkpoint()
+        return False
+    nbytes = store.write_checkpoint_vectored(chunks, job.cut_tick)
+    if on_chunk_written is not None:
+        on_chunk_written(nbytes)
+    return True
+
+
 class PayloadSource(Protocol):
     """Produces cut-consistent payload bytes for a batch of objects.
 
@@ -136,10 +192,17 @@ class WriterStats:
     bytes_written: int = 0
     #: Wall-clock seconds the thread spent inside jobs (begin to commit).
     busy_seconds: float = 0.0
-    #: Per-checkpoint durations, in completion order.
+    #: Per-checkpoint durations, in completion order (newest
+    #: :data:`DURATION_WINDOW` entries -- a sliding window, not a leak).
     durations: List[float] = field(default_factory=list)
     #: ``(epoch, cut_tick)`` of the newest committed checkpoint.
     last_committed: Optional[Tuple[int, int]] = None
+
+    def record_duration(self, elapsed: float) -> None:
+        """Append one checkpoint duration, keeping the window bounded."""
+        self.durations.append(elapsed)
+        if len(self.durations) > DURATION_WINDOW:
+            del self.durations[: len(self.durations) - DURATION_WINDOW]
 
 
 class AsyncCheckpointWriter:
@@ -341,6 +404,6 @@ class AsyncCheckpointWriter:
         with self._lock:
             self._stats.jobs_completed += 1
             self._stats.busy_seconds += elapsed
-            self._stats.durations.append(elapsed)
+            self._stats.record_duration(elapsed)
             self._stats.last_committed = (job.epoch, job.cut_tick)
         return True

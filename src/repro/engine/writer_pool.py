@@ -24,13 +24,32 @@ with a fixed crew:
   ``admission_timeout`` seconds, then raises) instead of buffering without
   limit.
 
-* **Batched submission.**  A worker wakes up and takes a *batch*: the job at
-  the front of the queue plus up to ``batch_jobs - 1`` more jobs whose store
-  is the same type, flushed back-to-back in shard-index order.  The
-  double-backup stores see their in-place sorted runs grouped together and
-  the log stores see their sequential appends grouped together -- fewer,
-  larger bursts of similar I/O instead of interleaved single chunks -- while
-  the queue-head rule keeps the oldest waiting shard in the very next batch.
+* **Staleness-weighted admission.**  Recovery time depends on the *age* of
+  the oldest checkpoint at crash time, not on mean throughput, so by
+  default the pool drains the queue oldest-cut-tick-first
+  (``admission="staleness"``): each queued job carries the tick its cut
+  happened at, and the worker always services the job whose cut is oldest
+  (submission order breaks ties, so equal-cadence shards still drain
+  round-robin).  Under overload this bounds the worst-case checkpoint age
+  at roughly one queue drain, where FIFO order lets a shard whose old cut
+  arrived behind a burst of fresh jobs wait arbitrarily long.
+  ``admission="fifo"`` keeps the PR 4 arrival-order behavior for
+  comparison.
+
+* **Batched, coalesced flushes.**  A worker wakes up and takes a *batch*:
+  the stalest (or, under FIFO, front) job plus up to ``batch_jobs - 1``
+  more jobs whose store is the same type, flushed back-to-back
+  oldest-cut-first.  With ``coalesce=True`` (the default) each job lands
+  through the store's ``write_checkpoint_vectored`` entry point -- every
+  pending chunk of the job gathered into one iovec and written with a
+  single ``writev`` (log stores, commit marker included) or one
+  globally-sorted ``pwritev`` pass (double-backup stores), with at most
+  one data fsync per job instead of one write per chunk.  POSIX offers no
+  gathered write spanning file descriptors, so the batch lands as one
+  such gathered write per handle, back-to-back; jobs larger than
+  ``max_gather_bytes`` fall back to the chunked path rather than staging
+  huge checkpoints in memory.  The selection rule keeps the oldest
+  waiting shard in the very next batch either way.
 
 * **Failure isolation.**  A store raising mid-flush poisons only its own
   handle: the error is recorded there and re-raised on *that shard's* next
@@ -51,16 +70,22 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.engine.writer import (
     DEFAULT_CHUNK_OBJECTS,
+    DEFAULT_MAX_GATHER_BYTES,
     CheckpointJob,
     StoreType,
     WriterStats,
     flush_checkpoint_job,
+    flush_checkpoint_job_vectored,
 )
 from repro.errors import CheckpointWriterError
+
+#: Queue service orders: ``staleness`` drains oldest cut tick first (bounds
+#: worst-case checkpoint age under overload), ``fifo`` drains arrival order.
+ADMISSION_POLICIES = ("staleness", "fifo")
 
 
 @dataclass
@@ -75,17 +100,33 @@ class PoolStats:
     busy_seconds: float = 0.0
     #: Number of worker wakeups that flushed at least one job.
     batches_flushed: int = 0
-    #: Jobs per batch, in flush order.
-    batch_sizes: List[int] = field(default_factory=list)
+    #: Jobs flushed through batches (the histogram's total weight).
+    jobs_batched: int = 0
+    #: Batch size -> number of batches of that size.  At most ``batch_jobs``
+    #: distinct keys, however long the pool lives -- a fixed-size histogram
+    #: where PR 4 kept one list entry per batch forever.
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
     #: Largest number of jobs ever waiting in the admission queue.
     max_queue_depth: int = 0
+    #: Jobs landed as a single gathered write / via the chunked fallback.
+    coalesced_jobs: int = 0
+    chunked_jobs: int = 0
+    #: Worst service-order inversion: the cut-tick gap between the job a
+    #: worker picked and the *oldest* job then queued.  Staleness admission
+    #: holds this at zero (it always picks the oldest); FIFO lets it grow
+    #: with however much older a queued cut can be than the queue head.
+    max_picked_staleness_ticks: int = 0
+    #: Largest per-shard checkpoint age (newest cut handed to the pool minus
+    #: newest durable cut) observed at this snapshot -- the fleet-facing
+    #: gauge recovery time depends on.
+    max_checkpoint_age_ticks: int = 0
 
     @property
     def mean_batch_size(self) -> float:
         """Average jobs coalesced per worker wakeup."""
-        if not self.batch_sizes:
+        if not self.batches_flushed:
             return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self.jobs_batched / self.batches_flushed
 
 
 class PoolWriter:
@@ -111,6 +152,11 @@ class PoolWriter:
         self._job: Optional[CheckpointJob] = None  # guarded by the pool lock
         self._stats = WriterStats()  # guarded by the pool lock
         self._closed = False
+        # Admission bookkeeping, guarded by the pool lock: submission
+        # sequence number (FIFO order and staleness tie-break) and the
+        # newest cut tick this shard has handed to the pool.
+        self._arrival = 0
+        self._newest_cut = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -146,6 +192,22 @@ class PoolWriter:
         """``(epoch, cut_tick)`` of this shard's newest committed checkpoint."""
         with self._pool._lock:
             return self._stats.last_committed
+
+    @property
+    def checkpoint_age(self) -> int:
+        """Ticks between this shard's newest cut handed to the pool and its
+        newest *durable* cut -- the replay work a crash right now would cost
+        beyond the unavoidable cadence gap.  0 while the shard is caught up.
+        """
+        with self._pool._lock:
+            return self._checkpoint_age_locked()
+
+    def _checkpoint_age_locked(self) -> int:
+        if self._newest_cut < 0:
+            return 0
+        committed = self._stats.last_committed
+        committed_cut = committed[1] if committed is not None else -1
+        return max(0, self._newest_cut - committed_cut)
 
     def stats(self) -> WriterStats:
         """Consistent snapshot of this shard's lifetime counters."""
@@ -224,6 +286,9 @@ class CheckpointWriterPool:
         batch_jobs: int = 8,
         chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
         admission_timeout: float = 60.0,
+        admission: str = "staleness",
+        coalesce: bool = True,
+        max_gather_bytes: int = DEFAULT_MAX_GATHER_BYTES,
         name: str = "repro-ckpt-pool",
     ) -> None:
         if num_workers <= 0:
@@ -242,11 +307,24 @@ class CheckpointWriterPool:
             raise CheckpointWriterError(
                 f"chunk_objects must be positive, got {chunk_objects}"
             )
+        if admission not in ADMISSION_POLICIES:
+            raise CheckpointWriterError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {admission!r}"
+            )
+        if max_gather_bytes <= 0:
+            raise CheckpointWriterError(
+                f"max_gather_bytes must be positive, got {max_gather_bytes}"
+            )
         self._num_workers = num_workers
         self._max_pending = max_pending
         self._batch_jobs = batch_jobs
         self._chunk = chunk_objects
         self._admission_timeout = admission_timeout
+        self._admission = admission
+        self._coalesce = coalesce
+        self._max_gather_bytes = max_gather_bytes
+        self._arrival_counter = 0
         self._name = name
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -269,6 +347,16 @@ class CheckpointWriterPool:
         return self._num_workers
 
     @property
+    def admission(self) -> str:
+        """Queue service order: ``staleness`` (default) or ``fifo``."""
+        return self._admission
+
+    @property
+    def coalesce(self) -> bool:
+        """True when jobs land as single gathered vectored writes."""
+        return self._coalesce
+
+    @property
     def handles(self) -> List[PoolWriter]:
         """Registered handles, in registration order."""
         with self._lock:
@@ -277,6 +365,9 @@ class CheckpointWriterPool:
     def stats(self) -> PoolStats:
         """Consistent snapshot of the pool-wide lifetime counters."""
         with self._lock:
+            ages = [
+                handle._checkpoint_age_locked() for handle in self._handles
+            ]
             return PoolStats(
                 jobs_submitted=self._stats.jobs_submitted,
                 jobs_completed=self._stats.jobs_completed,
@@ -284,8 +375,15 @@ class CheckpointWriterPool:
                 bytes_written=self._stats.bytes_written,
                 busy_seconds=self._stats.busy_seconds,
                 batches_flushed=self._stats.batches_flushed,
-                batch_sizes=list(self._stats.batch_sizes),
+                jobs_batched=self._stats.jobs_batched,
+                batch_size_histogram=dict(self._stats.batch_size_histogram),
                 max_queue_depth=self._stats.max_queue_depth,
+                coalesced_jobs=self._stats.coalesced_jobs,
+                chunked_jobs=self._stats.chunked_jobs,
+                max_picked_staleness_ticks=(
+                    self._stats.max_picked_staleness_ticks
+                ),
+                max_checkpoint_age_ticks=max(ages, default=0),
             )
 
     # ------------------------------------------------------------------
@@ -350,6 +448,10 @@ class CheckpointWriterPool:
             handle._job = job
             handle._abandon.clear()
             handle._idle.clear()
+            handle._arrival = self._arrival_counter
+            self._arrival_counter += 1
+            if job.cut_tick > handle._newest_cut:
+                handle._newest_cut = job.cut_tick
             handle._stats.jobs_submitted += 1
             self._stats.jobs_submitted += 1
             self._ready.append(handle)
@@ -374,27 +476,53 @@ class CheckpointWriterPool:
     # Worker threads
     # ------------------------------------------------------------------
 
-    def _take_batch_locked(self) -> List[PoolWriter]:
-        """Pop the queue head plus same-store-type jobs behind it.
+    @staticmethod
+    def _staleness_key(handle: PoolWriter):
+        """Service priority: oldest cut tick first, submission order ties."""
+        return (handle._job.cut_tick, handle._arrival)
 
-        Starting from the head keeps fairness: the longest-waiting shard is
-        always in the next batch, so a differently-typed job can be passed
-        over at most until the next wakeup, never indefinitely.
+    def _take_batch_locked(self) -> List[PoolWriter]:
+        """Pop the most urgent job plus same-store-type jobs behind it.
+
+        Under ``staleness`` admission the most urgent job is the queued job
+        with the oldest cut tick; under ``fifo`` it is the queue head.
+        Either rule keeps the longest-waiting shard in the very next batch,
+        so a differently-typed job can be passed over at most until the
+        next wakeup, never indefinitely.
         """
-        first = self._ready.popleft()
+        oldest_queued_cut = min(
+            handle._job.cut_tick for handle in self._ready
+        )
+        if self._admission == "fifo":
+            first = self._ready.popleft()
+            followers = list(self._ready)
+        else:
+            first = min(self._ready, key=self._staleness_key)
+            self._ready.remove(first)
+            followers = sorted(self._ready, key=self._staleness_key)
+        picked_staleness = first._job.cut_tick - oldest_queued_cut
+        if picked_staleness > self._stats.max_picked_staleness_ticks:
+            self._stats.max_picked_staleness_ticks = picked_staleness
         batch = [first]
         if self._batch_jobs > 1:
             store_type = type(first._store)
-            for handle in list(self._ready):
+            for handle in followers:
                 if len(batch) >= self._batch_jobs:
                     break
                 if type(handle._store) is store_type:
                     self._ready.remove(handle)
                     batch.append(handle)
-        # One ordered flush: deterministic shard-index order within the batch.
-        batch.sort(key=lambda handle: handle._index)
+        if self._admission == "fifo":
+            # PR 4 behavior: deterministic shard-index order within the batch.
+            batch.sort(key=lambda handle: handle._index)
+        else:
+            # The stalest shard's checkpoint always lands first, so even
+            # mid-batch the worst-case age keeps shrinking.
+            batch.sort(key=self._staleness_key)
         self._stats.batches_flushed += 1
-        self._stats.batch_sizes.append(len(batch))
+        self._stats.jobs_batched += len(batch)
+        histogram = self._stats.batch_size_histogram
+        histogram[len(batch)] = histogram.get(len(batch), 0) + 1
         return batch
 
     def _run(self) -> None:
@@ -421,13 +549,22 @@ class CheckpointWriterPool:
                 handle._stats.bytes_written += nbytes
                 self._stats.bytes_written += nbytes
 
+        # Coalesce into one gathered write unless the job would stage more
+        # than max_gather_bytes in memory, then chunk it like PR 4.
+        vectored = self._coalesce and (
+            job.object_ids.size * handle._store.geometry.object_bytes
+            <= self._max_gather_bytes
+        )
+        flush = flush_checkpoint_job_vectored if vectored else (
+            flush_checkpoint_job
+        )
         started = time.perf_counter()
         try:
             if should_abandon():
                 # Killed between queue pop and flush: leave the store alone.
                 completed = False
             else:
-                completed = flush_checkpoint_job(
+                completed = flush(
                     handle._store,
                     job,
                     self._chunk,
@@ -439,10 +576,14 @@ class CheckpointWriterPool:
                 if completed:
                     handle._stats.jobs_completed += 1
                     handle._stats.busy_seconds += elapsed
-                    handle._stats.durations.append(elapsed)
+                    handle._stats.record_duration(elapsed)
                     handle._stats.last_committed = (job.epoch, job.cut_tick)
                     self._stats.jobs_completed += 1
                     self._stats.busy_seconds += elapsed
+                    if vectored:
+                        self._stats.coalesced_jobs += 1
+                    else:
+                        self._stats.chunked_jobs += 1
                 else:
                     handle._stats.jobs_abandoned += 1
                     self._stats.jobs_abandoned += 1

@@ -132,15 +132,18 @@ class CheckpointLogStore:
         if self._fsync == "always" or (committing and self._fsync == "commit"):
             os.fsync(self._handle.fileno())
 
-    def _append_parts(self, parts: List) -> None:
-        """Gathered append of a framed record without concatenating it.
+    def _append_parts(self, parts: List, committing: bool = False) -> None:
+        """Gathered append of framed records without concatenating them.
 
         The handle is opened in append mode, so after a flush the raw fd
-        lands all parts at the end of the file in one ``writev``.
+        lands all parts at the end of the file in one ``writev``.  A
+        ``committing`` append carries a commit marker, so it must reach
+        stable storage under the ``commit`` policy as well as ``always`` --
+        the same discipline as :meth:`_append`.
         """
         self._handle.flush()
         write_all(self._handle.fileno(), parts)
-        if self._fsync == "always":
+        if self._fsync == "always" or (committing and self._fsync == "commit"):
             os.fsync(self._handle.fileno())
 
     def _verify_geometry(self) -> None:
@@ -178,16 +181,9 @@ class CheckpointLogStore:
         )
         self._writing_epoch = epoch
 
-    def append_objects(self, object_ids: np.ndarray, payloads) -> None:
-        """Append one run of object versions to the in-progress checkpoint.
-
-        ``payloads`` is any contiguous bytes-like buffer holding
-        ``len(object_ids)`` back-to-back object images.  Header, ids, and
-        payload go down in one gathered write -- the record is never
-        assembled in memory.
-        """
-        if self._writing_epoch is None:
-            raise StorageError("append_objects outside begin/commit")
+    def _validated_run(self, object_ids: np.ndarray, payloads):
+        """Fault-hook, id-range, and length checks shared by both append
+        paths; returns ``(ids, payload_view)`` (``None`` for an empty run)."""
         if self.write_fault_hook is not None:
             self.write_fault_hook()
         object_ids = np.ascontiguousarray(object_ids, dtype=np.int64)
@@ -199,9 +195,25 @@ class CheckpointLogStore:
                 f"{object_ids.size} objects of {object_bytes} bytes"
             )
         if object_ids.size == 0:
-            return
+            return None
         if object_ids.min() < 0 or object_ids.max() >= self._geometry.num_objects:
             raise StorageError("object id out of range")
+        return object_ids, payload_view
+
+    def append_objects(self, object_ids: np.ndarray, payloads) -> None:
+        """Append one run of object versions to the in-progress checkpoint.
+
+        ``payloads`` is any contiguous bytes-like buffer holding
+        ``len(object_ids)`` back-to-back object images.  Header, ids, and
+        payload go down in one gathered write -- the record is never
+        assembled in memory.
+        """
+        if self._writing_epoch is None:
+            raise StorageError("append_objects outside begin/commit")
+        run = self._validated_run(object_ids, payloads)
+        if run is None:
+            return
+        object_ids, payload_view = run
         self._append_parts(
             pack_record_parts(
                 RECORD_OBJECTS,
@@ -210,6 +222,53 @@ class CheckpointLogStore:
                 [object_ids, payload_view],
             )
         )
+
+    def write_checkpoint_vectored(self, chunks, cut_tick: int) -> int:
+        """Land the whole in-progress checkpoint in one gathered write.
+
+        ``chunks`` is a sequence of ``(object_ids, payloads)`` runs, each
+        validated (and fault-hook checked) exactly like an
+        :meth:`append_objects` call.  Every OBJECTS record *and* the commit
+        marker are framed into a single iovec and handed to one ``writev``
+        (split only at ``IOV_MAX``), then made durable by at most one
+        ``fsync`` under the ``commit``/``always`` policies -- instead of one
+        write (and, under ``always``, one fsync) per run.
+
+        The commit marker is the final entry of the iovec and ``writev``
+        lands buffers in order, so a torn write can truncate the checkpoint
+        but can never produce a commit marker ahead of its data: recovery
+        sees either a fully committed checkpoint or an uncommitted tail it
+        already knows to ignore.  Returns the number of payload bytes
+        written and ends the in-progress checkpoint.
+        """
+        if self._writing_epoch is None:
+            raise StorageError(
+                "write_checkpoint_vectored outside begin/commit"
+            )
+        parts: List = []
+        payload_bytes = 0
+        for object_ids, payloads in chunks:
+            run = self._validated_run(object_ids, payloads)
+            if run is None:
+                continue
+            object_ids, payload_view = run
+            parts.extend(
+                pack_record_parts(
+                    RECORD_OBJECTS,
+                    self._writing_epoch,
+                    object_ids.size,
+                    [object_ids, payload_view],
+                )
+            )
+            payload_bytes += payload_view.nbytes
+        parts.append(
+            pack_record(
+                RECORD_CHECKPOINT_COMMIT, self._writing_epoch, cut_tick, b""
+            )
+        )
+        self._append_parts(parts, committing=True)
+        self._writing_epoch = None
+        return payload_bytes
 
     def commit_checkpoint(self, tick: int) -> None:
         """Append the commit record; the checkpoint is now recoverable."""

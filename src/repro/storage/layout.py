@@ -184,6 +184,12 @@ def pack_record_parts(
 HAS_PWRITEV = hasattr(os, "pwritev")
 HAS_WRITEV = hasattr(os, "writev")
 
+try:
+    #: Most iovec entries one ``writev``/``pwritev`` call may carry.
+    IOV_MAX = os.sysconf("SC_IOV_MAX")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    IOV_MAX = 1024
+
 
 def pwrite_all(fd: int, buffer, offset: int) -> int:
     """Positioned write of one contiguous buffer, retrying partial writes.
@@ -203,6 +209,37 @@ def pwrite_all(fd: int, buffer, offset: int) -> int:
     return total
 
 
+def pwritev_all(fd: int, buffers: Sequence, offset: int) -> int:
+    """Gathered positioned write of ``buffers`` at ``offset``.
+
+    One ``os.pwritev`` syscall in the common case -- the iovec entries are
+    the callers' own buffers, so scattered payload rows land contiguously on
+    disk without ever being copied into a staging buffer.  Splits at
+    ``IOV_MAX`` and retries partial writes; returns the bytes written.
+    """
+    views = [memoryview(buffer).cast("B") for buffer in buffers]
+    total = sum(view.nbytes for view in views)
+    if not HAS_PWRITEV:  # pragma: no cover - non-POSIX fallback
+        for view in views:
+            while view.nbytes:
+                written = os.pwrite(fd, view, offset)
+                view = view[written:]
+                offset += written
+        return total
+    while views:
+        written = os.pwritev(fd, views[:IOV_MAX], offset)
+        offset += written
+        trimmed = []
+        for view in views:
+            if written >= view.nbytes:
+                written -= view.nbytes
+                continue
+            trimmed.append(view[written:] if written else view)
+            written = 0
+        views = trimmed
+    return total
+
+
 def write_all(fd: int, buffers: Sequence) -> int:
     """Gathered sequential write of ``buffers`` at the fd's offset.
 
@@ -218,7 +255,9 @@ def write_all(fd: int, buffers: Sequence) -> int:
         return total
     remaining = total
     while remaining:
-        written = os.writev(fd, views)
+        # The kernel rejects iovecs longer than IOV_MAX; feed it the
+        # front slice and let the retry loop advance through the rest.
+        written = os.writev(fd, views[:IOV_MAX])
         remaining -= written
         if remaining:
             # Drop fully-written views, trim the partially-written one.

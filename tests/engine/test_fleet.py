@@ -1,11 +1,13 @@
 """Tests for the multi-shard fleet driver."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.config import StateGeometry
 from repro.engine.fleet import ShardFleet, shard_directory
-from repro.errors import EngineError
+from repro.errors import CheckpointWriterError, EngineError
 
 GEOMETRY = StateGeometry(rows=400, columns=10)
 
@@ -119,3 +121,34 @@ class TestRecovery:
         fleet.crash()
         with pytest.raises(EngineError):
             fleet.crash()
+
+
+class TestCheckpointAge:
+    def test_ages_tracked_per_shard_and_aggregated(
+        self, app_factory, tmp_path
+    ):
+        with make_fleet(app_factory, tmp_path, pool_size=2) as fleet:
+            assert fleet.checkpoint_ages() == [0, 0, 0]
+            assert fleet.max_checkpoint_age == 0
+            fleet.run_ticks(12, parallel=True)
+            deadline = time.monotonic() + 10.0
+            while (
+                any(
+                    shard.game.last_committed_checkpoint_tick is None
+                    for shard in fleet.shards
+                )
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            ages = fleet.checkpoint_ages()
+            assert len(ages) == 3
+            # Every shard committed at least one cut, so the replay debt
+            # is bounded by the ticks run, and usually far smaller.
+            assert all(0 <= age < 12 for age in ages)
+            assert fleet.max_checkpoint_age == max(ages)
+
+    def test_invalid_pool_admission_rejected(self, app_factory, tmp_path):
+        with pytest.raises(CheckpointWriterError):
+            make_fleet(
+                app_factory, tmp_path, pool_size=1, pool_admission="lifo"
+            )

@@ -125,7 +125,12 @@ class TestRoundTrip:
             stats = pool.stats()
             assert stats.jobs_completed == 5
             assert stats.jobs_submitted == 5
-            assert sum(stats.batch_sizes) == 5
+            assert stats.jobs_batched == 5
+            assert sum(
+                size * count
+                for size, count in stats.batch_size_histogram.items()
+            ) == 5
+            assert stats.coalesced_jobs == 5
             for store in stores:
                 store.close()
 
@@ -442,3 +447,163 @@ class TestEngineIntegration:
         for recovered, expected in zip(reports, live):
             assert np.array_equal(recovered.game.table.cells, expected)
             recovered.persistence.close()
+
+
+class TestStalenessAdmission:
+    def _flood(self, tmp_path, admission, cuts):
+        """Park the worker, queue one job per cut, return the service order.
+
+        Returns ``(service_order, stats)`` where ``service_order`` lists the
+        submission indices in the order the worker flushed them.
+        """
+        service_order = []
+
+        class RecordingSource(ArraySource):
+            def __init__(self, objects, index):
+                super().__init__(objects)
+                self._index = index
+
+            def read_payloads(self, object_ids):
+                if self._index not in service_order:
+                    service_order.append(self._index)
+                return super().read_payloads(object_ids)
+
+        pool = CheckpointWriterPool(1, batch_jobs=1, admission=admission)
+        blocker = BlockingSource(make_objects())
+        stores, handles = [], []
+        try:
+            for index in range(len(cuts) + 1):
+                store = CheckpointLogStore(tmp_path / str(index), GEOMETRY)
+                stores.append(store)
+                handles.append(pool.register(store))
+            handles[0].submit(full_job(blocker, cut_tick=0, backup_index=None,
+                                       is_full_dump=True))
+            assert blocker.entered.wait(timeout=10.0)
+            for index, cut in enumerate(cuts, start=1):
+                handles[index].submit(full_job(
+                    RecordingSource(make_objects(index), index),
+                    cut_tick=cut, backup_index=None, is_full_dump=True,
+                ))
+            blocker.release.set()
+            for handle in handles:
+                assert handle.wait_idle(timeout=10.0)
+            return service_order, pool.stats()
+        finally:
+            pool.close()
+            for store in stores:
+                store.close()
+
+    def test_oldest_cut_serviced_first(self, tmp_path):
+        """Cuts submitted newest-first drain oldest-first under staleness."""
+        order, stats = self._flood(tmp_path, "staleness", cuts=[30, 20, 10])
+        assert order == [3, 2, 1]
+        assert stats.max_picked_staleness_ticks == 0
+
+    def test_fifo_services_arrival_order_and_records_inversion(
+        self, tmp_path
+    ):
+        order, stats = self._flood(tmp_path, "fifo", cuts=[30, 20, 10])
+        assert order == [1, 2, 3]
+        # The worker picked the cut-30 job while the cut-10 job was queued.
+        assert stats.max_picked_staleness_ticks == 20
+
+    def test_invalid_admission_rejected(self):
+        with pytest.raises(CheckpointWriterError):
+            CheckpointWriterPool(1, admission="lifo")
+        with pytest.raises(CheckpointWriterError):
+            CheckpointWriterPool(1, max_gather_bytes=0)
+
+    def test_oversize_job_falls_back_to_chunked_flush(self, tmp_path):
+        """Jobs past max_gather_bytes land chunked instead of staged."""
+        with CheckpointWriterPool(1, max_gather_bytes=1) as pool:
+            store = DoubleBackupStore(tmp_path, GEOMETRY)
+            handle = pool.register(store)
+            objects = make_objects()
+            handle.submit(full_job(ArraySource(objects)))
+            assert handle.wait_idle(timeout=10.0)
+            stats = pool.stats()
+            assert stats.chunked_jobs == 1
+            assert stats.coalesced_jobs == 0
+            assert store.read_image(0) == objects.tobytes()
+            store.close()
+
+    def test_checkpoint_age_gauge_tracks_undurable_cut(self, tmp_path):
+        with CheckpointWriterPool(1) as pool:
+            store = DoubleBackupStore(tmp_path, GEOMETRY)
+            handle = pool.register(store)
+            assert handle.checkpoint_age == 0  # nothing submitted yet
+            source = BlockingSource(make_objects())
+            handle.submit(full_job(source, cut_tick=9))
+            assert source.entered.wait(timeout=10.0)
+            # Cut 9 handed over, nothing durable yet: 10 ticks of replay.
+            assert handle.checkpoint_age == 10
+            assert pool.stats().max_checkpoint_age_ticks == 10
+            source.release.set()
+            assert handle.wait_idle(timeout=10.0)
+            assert handle.checkpoint_age == 0
+            assert pool.stats().max_checkpoint_age_ticks == 0
+            store.close()
+
+
+class TestCoalescedCrashSemantics:
+    def test_fault_mid_batch_leaves_every_handle_recoverable(self, tmp_path):
+        """A crash-mid-gathered-write fault on one handle of a coalesced
+        batch must not tear any other handle's commit marker."""
+        with CheckpointWriterPool(1, batch_jobs=8, chunk_objects=8) as pool:
+            blocker_store = CheckpointLogStore(tmp_path / "blocker", GEOMETRY)
+            stores = [
+                CheckpointLogStore(tmp_path / str(index), GEOMETRY)
+                for index in range(3)
+            ]
+            blocker_handle = pool.register(blocker_store, name="blocker")
+            handles = [
+                pool.register(store, name=f"shard-{index}")
+                for index, store in enumerate(stores)
+            ]
+            arrays = [make_objects(index) for index in range(3)]
+            # Round 1: every shard commits epoch 1 normally.
+            for index, handle in enumerate(handles):
+                handle.submit(full_job(
+                    ArraySource(arrays[index]), epoch=1, cut_tick=5,
+                    backup_index=None, is_full_dump=True,
+                ))
+                assert handle.wait_idle(timeout=10.0)
+            # Round 2: all three queue behind a parked worker so they flush
+            # as one coalesced batch; the middle store dies mid-write.
+            blocker = BlockingSource(make_objects(9))
+            blocker_handle.submit(full_job(
+                blocker, epoch=1, cut_tick=6, backup_index=None,
+                is_full_dump=True,
+            ))
+            assert blocker.entered.wait(timeout=10.0)
+
+            def explode():
+                raise StorageError("injected mid-gathered-write fault")
+
+            stores[1].write_fault_hook = explode
+            fresh = [make_objects(10 + index) for index in range(3)]
+            for index, handle in enumerate(handles):
+                handle.submit(full_job(
+                    ArraySource(fresh[index]), epoch=2, cut_tick=11,
+                    backup_index=None, is_full_dump=True,
+                ))
+            blocker.release.set()
+            for handle in handles:
+                assert handle.wait_idle(timeout=10.0, check=False)
+            stats = pool.stats()
+            assert stats.batch_size_histogram.get(3) == 1
+            # The faulted shard: poisoned handle, epoch 1 still restorable.
+            assert isinstance(handles[1].error, StorageError)
+            image, epoch, tick = stores[1].restore_image()
+            assert (epoch, tick) == (1, 5)
+            assert image == arrays[1].tobytes()
+            # Its batch-mates committed epoch 2 intact.
+            for index in (0, 2):
+                handles[index].check()
+                image, epoch, tick = stores[index].restore_image()
+                assert (epoch, tick) == (2, 11)
+                assert image == fresh[index].tobytes()
+            handles[1].kill()
+            blocker_store.close()
+            for store in stores:
+                store.close()

@@ -272,3 +272,164 @@ class TestCompaction:
             store.compact(chunk_bytes=0)
         with pytest.raises(StorageError):
             store.compact(chunk_bytes=-8)
+
+
+class TestVectoredWrites:
+    def chunks_for(self, geometry, fill, *id_groups):
+        return [
+            (np.array(ids, dtype=np.int64), payload_for(ids, geometry, fill))
+            for ids in id_groups
+        ]
+
+    def test_vectored_round_trip_matches_chunked_appends(
+        self, tmp_path, geometry
+    ):
+        chunks = self.chunks_for(
+            geometry, 1, [0, 1, 2], [3, 4, 5], [6, 7]
+        )
+        with CheckpointLogStore(tmp_path / "vectored", geometry) as vectored:
+            vectored.begin_checkpoint(1, is_full_dump=True)
+            nbytes = vectored.write_checkpoint_vectored(chunks, cut_tick=12)
+            assert nbytes == geometry.num_objects * geometry.object_bytes
+            image, epoch, tick = vectored.restore_image()
+        with CheckpointLogStore(tmp_path / "chunked", geometry) as chunked:
+            chunked.begin_checkpoint(1, is_full_dump=True)
+            for ids, payload in chunks:
+                chunked.append_objects(ids, payload)
+            chunked.commit_checkpoint(tick=12)
+            expected_image, expected_epoch, expected_tick = (
+                chunked.restore_image()
+            )
+        assert (epoch, tick) == (expected_epoch, expected_tick) == (1, 12)
+        assert image == expected_image
+
+    def test_vectored_partial_overlays_full_dump(self, store, geometry):
+        ids = np.arange(geometry.num_objects)
+        store.begin_checkpoint(1, is_full_dump=True)
+        store.write_checkpoint_vectored(
+            [(ids, payload_for(ids, geometry, 1))], cut_tick=0
+        )
+        store.begin_checkpoint(2, is_full_dump=False)
+        store.write_checkpoint_vectored(
+            self.chunks_for(geometry, 2, [3], [5]), cut_tick=9
+        )
+        image, epoch, tick = store.restore_image()
+        assert (epoch, tick) == (2, 9)
+        assert image_value(image, geometry, 3) == 2_003
+        assert image_value(image, geometry, 5) == 2_005
+        assert image_value(image, geometry, 4) == 1_004
+
+    def test_vectored_outside_checkpoint_rejected(self, store, geometry):
+        with pytest.raises(StorageError):
+            store.write_checkpoint_vectored(
+                self.chunks_for(geometry, 1, [0]), cut_tick=1
+            )
+
+    def test_vectored_validates_every_chunk_before_writing(
+        self, store, geometry
+    ):
+        """A bad chunk anywhere in the batch aborts with zero bytes landed."""
+        store.begin_checkpoint(1, is_full_dump=True)
+        good = self.chunks_for(geometry, 1, [0, 1])
+        bad = [(np.array([2], dtype=np.int64), b"short")]
+        with pytest.raises(StorageError):
+            store.write_checkpoint_vectored(good + bad, cut_tick=3)
+        store.abort_checkpoint()
+        with pytest.raises(NoConsistentCheckpointError):
+            store.restore_image()
+
+    @pytest.mark.parametrize("policy,expected_fsyncs", [
+        ("never", 0), ("commit", 1), ("always", 1),
+    ])
+    def test_vectored_commit_fsync_policy(
+        self, tmp_path, geometry, monkeypatch, policy, expected_fsyncs
+    ):
+        """The gathered commit-marker write honors the fsync policy."""
+        import os as os_module
+        with CheckpointLogStore(
+            tmp_path, geometry, fsync_policy=policy
+        ) as store:
+            counts = {"fsyncs": 0}
+            real_fsync = os_module.fsync
+
+            def counting_fsync(fd):
+                counts["fsyncs"] += 1
+                real_fsync(fd)
+
+            monkeypatch.setattr(
+                "repro.storage.checkpoint_log.os.fsync", counting_fsync
+            )
+            ids = np.arange(geometry.num_objects)
+            store.begin_checkpoint(1, is_full_dump=True)
+            counts["fsyncs"] = 0
+            store.write_checkpoint_vectored(
+                [(ids, payload_for(ids, geometry, 1))], cut_tick=3
+            )
+            assert counts["fsyncs"] == expected_fsyncs
+
+    @pytest.mark.parametrize("policy,expected_fsyncs", [
+        ("never", 0), ("commit", 1),
+    ])
+    def test_chunked_commit_fsync_policy(
+        self, tmp_path, geometry, monkeypatch, policy, expected_fsyncs
+    ):
+        """Chunked appends fsync only at the commit record under commit."""
+        import os as os_module
+        with CheckpointLogStore(
+            tmp_path, geometry, fsync_policy=policy
+        ) as store:
+            counts = {"fsyncs": 0}
+            real_fsync = os_module.fsync
+
+            def counting_fsync(fd):
+                counts["fsyncs"] += 1
+                real_fsync(fd)
+
+            monkeypatch.setattr(
+                "repro.storage.checkpoint_log.os.fsync", counting_fsync
+            )
+            ids = np.arange(geometry.num_objects)
+            store.begin_checkpoint(1, is_full_dump=True)
+            counts["fsyncs"] = 0
+            store.append_objects(ids[:4], payload_for(ids[:4], geometry, 1))
+            store.append_objects(ids[4:], payload_for(ids[4:], geometry, 1))
+            assert counts["fsyncs"] == 0
+            store.commit_checkpoint(tick=3)
+            assert counts["fsyncs"] == expected_fsyncs
+
+    def test_torn_gathered_write_never_commits(self, tmp_path, geometry):
+        """Any prefix of the gathered writev restores the prior checkpoint.
+
+        The commit marker is the last iovec entry, so a crash that lands
+        only part of the gathered write can lose checkpoint 2 but can never
+        produce a committed-but-torn image.
+        """
+        import os as os_module
+        ids = np.arange(geometry.num_objects)
+        with CheckpointLogStore(tmp_path, geometry) as store:
+            store.begin_checkpoint(1, is_full_dump=True)
+            store.write_checkpoint_vectored(
+                [(ids, payload_for(ids, geometry, 1))], cut_tick=5
+            )
+            path = store._path
+            committed_size = os_module.path.getsize(path)
+            store.begin_checkpoint(2, is_full_dump=True)
+            begin_size = os_module.path.getsize(path)
+            store.write_checkpoint_vectored(
+                self.chunks_for(geometry, 2, [0, 1, 2, 3], [4, 5, 6, 7]),
+                cut_tick=9,
+            )
+            full_size = os_module.path.getsize(path)
+        assert committed_size < begin_size < full_size
+        for torn_size in (
+            begin_size, (begin_size + full_size) // 2, full_size - 1
+        ):
+            torn_path = tmp_path / f"torn-{torn_size}"
+            torn_path.mkdir()
+            target = torn_path / CheckpointLogStore.FILE_NAME
+            with open(path, "rb") as source:
+                target.write_bytes(source.read(torn_size))
+            with CheckpointLogStore(torn_path, geometry) as reopened:
+                image, epoch, tick = reopened.restore_image()
+            assert (epoch, tick) == (1, 5)
+            assert image_value(image, geometry, 7) == 1_007

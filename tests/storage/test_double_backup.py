@@ -219,3 +219,91 @@ class TestReopen:
         assert header.state == STATE_COMPLETE
         assert header.epoch == 5
         assert header.tick == 77
+
+
+class TestVectoredWrites:
+    def chunks_for(self, geometry, fill, *id_groups):
+        return [
+            (np.array(ids, dtype=np.int64), payload_for(ids, geometry, fill))
+            for ids in id_groups
+        ]
+
+    def test_vectored_round_trip_matches_chunked_writes(
+        self, tmp_path, geometry
+    ):
+        chunks = self.chunks_for(geometry, 1, [4, 0, 6], [2, 3], [7, 1, 5])
+        with DoubleBackupStore(tmp_path / "vectored", geometry) as vectored:
+            vectored.begin_checkpoint(0, epoch=1)
+            nbytes = vectored.write_checkpoint_vectored(chunks, cut_tick=12)
+            assert nbytes == geometry.num_objects * geometry.object_bytes
+            found = vectored.latest_consistent()
+            assert (found.epoch, found.tick) == (1, 12)
+            image = vectored.read_image(found.backup_index)
+        with DoubleBackupStore(tmp_path / "chunked", geometry) as chunked:
+            chunked.begin_checkpoint(0, epoch=1)
+            for ids, payload in chunks:
+                chunked.write_objects(ids, payload)
+            chunked.commit_checkpoint(tick=12)
+            expected = chunked.read_image(0)
+        assert image == expected
+
+    def test_vectored_runs_straddling_chunks_coalesce(self, store, geometry):
+        """Ids contiguous across chunk boundaries land correctly."""
+        store.begin_checkpoint(0, epoch=1)
+        store.write_checkpoint_vectored(
+            self.chunks_for(geometry, 3, [0, 1, 2], [3, 4], [6, 7]),
+            cut_tick=4,
+        )
+        image = store.read_image(0)
+        payload = np.frombuffer(image, dtype=np.uint32).reshape(
+            geometry.num_objects, geometry.cells_per_object
+        )
+        for object_id in (0, 1, 2, 3, 4, 6, 7):
+            assert payload[object_id, 0] == 3_000 + object_id
+        assert payload[5, 0] == 0  # untouched gap object
+
+    def test_vectored_duplicates_across_chunks_keep_last(
+        self, store, geometry
+    ):
+        """An id resubmitted in a later chunk wins, like chunked writes."""
+        store.begin_checkpoint(0, epoch=1)
+        store.write_checkpoint_vectored(
+            self.chunks_for(geometry, 1, [0, 3, 5])
+            + self.chunks_for(geometry, 2, [3, 1])
+            + self.chunks_for(geometry, 9, [3]),
+            cut_tick=6,
+        )
+        image = store.read_image(0)
+        payload = np.frombuffer(image, dtype=np.uint32).reshape(
+            geometry.num_objects, geometry.cells_per_object
+        )
+        assert payload[0, 0] == 1_000
+        assert payload[5, 0] == 1_005
+        assert payload[1, 0] == 2_001
+        assert payload[3, 0] == 9_003  # last submission wins
+
+    def test_vectored_outside_checkpoint_rejected(self, store, geometry):
+        with pytest.raises(StorageError):
+            store.write_checkpoint_vectored(
+                self.chunks_for(geometry, 1, [0]), cut_tick=1
+            )
+
+    def test_vectored_fault_hook_fires_before_any_byte(self, store, geometry):
+        """A fault in any chunk's validation aborts with nothing written."""
+        calls = {"count": 0}
+
+        def explode():
+            calls["count"] += 1
+            if calls["count"] > 1:
+                raise StorageError("injected fault")
+
+        store.write_fault_hook = explode
+        store.begin_checkpoint(0, epoch=1)
+        with pytest.raises(StorageError):
+            store.write_checkpoint_vectored(
+                self.chunks_for(geometry, 1, [0, 1], [2, 3]), cut_tick=3
+            )
+        store.abort_checkpoint()
+        assert calls["count"] == 2
+        with pytest.raises(NoConsistentCheckpointError):
+            store.latest_consistent()

@@ -85,3 +85,30 @@ class TestRecords:
         record_type, a, b, length, checksum = layout.unpack_record_header(header)
         assert length == 0
         assert layout.verify_record(header, b"", checksum)
+
+
+class TestGatheredWrites:
+    def test_pwritev_all_lands_scattered_buffers(self, tmp_path):
+        """Many small iovec entries (past IOV_MAX) land back-to-back."""
+        import os
+
+        buffers = [bytes([index % 251]) * 3 for index in range(1500)]
+        path = tmp_path / "gathered"
+        fd = os.open(path, os.O_CREAT | os.O_RDWR)
+        try:
+            written = layout.pwritev_all(fd, buffers, 7)
+        finally:
+            os.close(fd)
+        expected = b"".join(buffers)
+        assert written == len(expected)
+        assert path.read_bytes() == b"\x00" * 7 + expected
+
+    def test_pwritev_all_empty(self, tmp_path):
+        import os
+
+        path = tmp_path / "empty"
+        fd = os.open(path, os.O_CREAT | os.O_RDWR)
+        try:
+            assert layout.pwritev_all(fd, [], 0) == 0
+        finally:
+            os.close(fd)
