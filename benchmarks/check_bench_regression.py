@@ -72,19 +72,39 @@ def fleet_metrics(results: dict):
                point.get("ticks_per_second"), True)
 
 
+def recovery_scale_metrics(results: dict):
+    """Yield per-point recovery wall times and speedups keyed by shape."""
+    scale = results.get("recovery_scale", {})
+    for point in scale.get("points", []):
+        shape = f"{point['store']} {point['num_objects']} objects"
+        for mode in ("serial", "pipelined"):
+            yield (f"recovery ({shape}) {mode} wall time",
+                   point.get(mode, {}).get("wall_seconds"), False)
+        yield (f"recovery ({shape}) pipelined speedup",
+               point.get("speedup"), True)
+
+
+#: Dynamic metric generators: labels are derived from the run's own points,
+#: and only labels present in both runs are compared.
+DYNAMIC_METRICS = [fleet_metrics, recovery_scale_metrics]
+
+
 def compare(current: dict, baseline: dict, threshold: float):
     """Yields (label, baseline_value, current_value, relative_change)."""
     pairs = [
         (label, lookup(baseline, path), lookup(current, path), higher)
         for path, label, higher in KEY_METRICS
     ]
-    baseline_fleet = {
-        label: (value, higher)
-        for label, value, higher in fleet_metrics(baseline)
-    }
-    for label, value, higher in fleet_metrics(current):
-        if label in baseline_fleet:
-            pairs.append((label, baseline_fleet[label][0], value, higher))
+    for metrics in DYNAMIC_METRICS:
+        baseline_points = {
+            label: (value, higher)
+            for label, value, higher in metrics(baseline)
+        }
+        for label, value, higher in metrics(current):
+            if label in baseline_points:
+                pairs.append(
+                    (label, baseline_points[label][0], value, higher)
+                )
     for label, base, now, higher_is_better in pairs:
         if base is None or now is None or base == 0:
             continue

@@ -15,8 +15,12 @@ N concurrent shards.
 
 from repro.engine.app import TickApplication, TickUpdatesPlan
 from repro.engine.executor import RealExecutor
-from repro.engine.fleet import FleetRunReport, ShardFleet
-from repro.engine.recovery import RecoveryManager, RecoveryReport
+from repro.engine.fleet import FLEET_RECOVERY_MODES, FleetRunReport, ShardFleet
+from repro.engine.recovery import (
+    RECOVERY_MODES,
+    RecoveryManager,
+    RecoveryReport,
+)
 from repro.engine.server import DurableGameServer
 from repro.engine.shard import MMOShard, ShardRecovery
 from repro.engine.writer import AsyncCheckpointWriter, CheckpointJob, WriterStats
@@ -24,6 +28,8 @@ from repro.engine.writer_pool import CheckpointWriterPool, PoolStats, PoolWriter
 
 __all__ = [
     "AsyncCheckpointWriter",
+    "FLEET_RECOVERY_MODES",
+    "RECOVERY_MODES",
     "CheckpointJob",
     "CheckpointWriterPool",
     "DurableGameServer",

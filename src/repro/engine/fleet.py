@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 from repro.engine.app import TickApplication
+from repro.engine.recovery import RECOVERY_MODES
 from repro.engine.server import ServerStats
 from repro.engine.shard import MMOShard, ShardRecovery
 from repro.engine.writer_pool import CheckpointWriterPool
@@ -41,6 +42,11 @@ from repro.errors import EngineError
 
 #: Subdirectory name of shard ``i`` under the fleet root.
 SHARD_DIRECTORY_FORMAT = "shard-{index:02d}"
+
+#: Fleet-level recovery modes: ``serial`` recovers shards one after another,
+#: ``parallel`` recovers shards on a thread pool, ``pipelined`` additionally
+#: pipelines restore with replay *inside* each shard.
+FLEET_RECOVERY_MODES = ("serial", "parallel", "pipelined")
 
 
 def shard_directory(root: Union[str, os.PathLike], index: int) -> str:
@@ -274,28 +280,66 @@ class ShardFleet:
         seed: int = 0,
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        mode=None,
     ) -> List[ShardRecovery]:
         """Recover every shard of a crashed fleet, results in index order.
 
-        With ``parallel=True`` (the default) shard recoveries run on a
-        thread pool of ``max_workers`` threads (default: one per shard);
-        restore reads and replays of independent shards overlap, which is
-        where recovery time goes at production shard counts.  Assembly is
-        deterministic either way: the returned list is indexed by shard, and
-        each shard's recovery is a pure function of its own directory, so
-        thread scheduling cannot change any recovered state.
+        ``mode`` selects the recovery strategy (``FLEET_RECOVERY_MODES``):
+
+        * ``"serial"`` -- shards one after another, each with the paper's
+          sequential restore-then-replay;
+        * ``"parallel"`` -- shards on a thread pool of ``max_workers``
+          threads (default: one per shard), each internally sequential;
+          restore reads and replays of independent shards overlap, which is
+          where recovery time goes at production shard counts;
+        * ``"pipelined"`` -- shards on the thread pool *and* each shard
+          pipelines its restore read with its log replay;
+        * a sequence of per-shard entries (``"serial"``/``"pipelined"``,
+          one per shard) -- mixed intra-shard modes on the thread pool;
+        * ``None`` (default) -- derived from the legacy ``parallel`` flag.
+
+        Assembly is deterministic in every mode: the returned list is
+        indexed by shard, and each shard's recovery is a pure function of
+        its own directory, so thread scheduling cannot change any recovered
+        state.
         """
         if num_shards <= 0:
             raise EngineError(f"num_shards must be positive, got {num_shards}")
+        if mode is None:
+            mode = "parallel" if parallel else "serial"
+        if isinstance(mode, str):
+            if mode not in FLEET_RECOVERY_MODES:
+                raise EngineError(
+                    f"mode must be one of {FLEET_RECOVERY_MODES}, got {mode!r}"
+                )
+            threaded = mode != "serial"
+            shard_modes = [
+                "pipelined" if mode == "pipelined" else "serial"
+            ] * num_shards
+        else:
+            shard_modes = list(mode)
+            if len(shard_modes) != num_shards:
+                raise EngineError(
+                    f"per-shard mode list has {len(shard_modes)} entries "
+                    f"for {num_shards} shards"
+                )
+            for entry in shard_modes:
+                if entry not in RECOVERY_MODES:
+                    raise EngineError(
+                        f"per-shard mode must be one of {RECOVERY_MODES}, "
+                        f"got {entry!r}"
+                    )
+            threaded = True
 
         def recover_shard(index: int) -> ShardRecovery:
             return MMOShard.recover(
                 app_factory(index),
                 shard_directory(directory, index),
                 seed=seed + index,
+                mode=shard_modes[index],
             )
 
-        if not parallel or num_shards == 1:
+        if not threaded or num_shards == 1:
             return [recover_shard(index) for index in range(num_shards)]
         workers = max_workers if max_workers is not None else num_shards
         workers = max(1, min(workers, num_shards))

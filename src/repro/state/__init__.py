@@ -15,7 +15,12 @@ every checkpointing algorithm operates on:
   structure of Salem and Garcia-Molina's double-backup organization.
 """
 
-from repro.state.dirty import DoubleBackupBits, EpochSet, PolarityBitmap
+from repro.state.dirty import (
+    DoubleBackupBits,
+    EpochSet,
+    PolarityBitmap,
+    RegionResidency,
+)
 from repro.state.table import GameStateTable
 
 __all__ = [
@@ -23,4 +28,5 @@ __all__ = [
     "EpochSet",
     "GameStateTable",
     "PolarityBitmap",
+    "RegionResidency",
 ]

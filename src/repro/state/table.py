@@ -71,32 +71,41 @@ class GameStateTable:
     # Updates
     # ------------------------------------------------------------------
 
-    def apply_updates(self, rows, columns, values) -> np.ndarray:
+    def apply_updates(self, rows, columns, values, validate: bool = True) -> np.ndarray:
         """Write ``values`` into cells ``(rows, columns)`` (vectorized).
 
         Returns the atomic-object id touched by each update, in update order
         and *with duplicates*, so the caller can feed them to a checkpointing
-        algorithm's update handler.
+        algorithm's update handler.  ``validate=False`` skips the bounds
+        check for trusted callers (recovery replays millions of updates that
+        already passed it once on the live path).
         """
         rows = np.asarray(rows)
         columns = np.asarray(columns)
-        if rows.size and (rows.min() < 0 or rows.max() >= self._geometry.rows):
-            raise GeometryError("row index out of range")
-        if columns.size and (
-            columns.min() < 0 or columns.max() >= self._geometry.columns
-        ):
-            raise GeometryError("column index out of range")
+        if validate and rows.size:
+            # One fused pass over both index arrays; the failure branch
+            # re-derives which bound broke, off the hot path.
+            bad = (
+                (rows < 0)
+                | (rows >= self._geometry.rows)
+                | (columns < 0)
+                | (columns >= self._geometry.columns)
+            )
+            if bad.any():
+                if ((rows < 0) | (rows >= self._geometry.rows)).any():
+                    raise GeometryError("row index out of range")
+                raise GeometryError("column index out of range")
         self._table[rows, columns] = values
         cell_index = self._geometry.cell_index(rows, columns)
         return self._geometry.object_of_cell(cell_index)
 
-    def apply_cell_updates(self, cell_indices, values) -> np.ndarray:
+    def apply_cell_updates(self, cell_indices, values, validate: bool = True) -> np.ndarray:
         """Write ``values`` into flat cell indices; returns touched object ids."""
         cell_indices = np.asarray(cell_indices)
-        if cell_indices.size and (
-            cell_indices.min() < 0 or cell_indices.max() >= self._geometry.num_cells
-        ):
-            raise GeometryError("cell index out of range")
+        if validate and cell_indices.size:
+            bad = (cell_indices < 0) | (cell_indices >= self._geometry.num_cells)
+            if bad.any():
+                raise GeometryError("cell index out of range")
         self._cells[cell_indices] = values
         return self._geometry.object_of_cell(cell_indices)
 
@@ -124,21 +133,58 @@ class GameStateTable:
             -1, self._geometry.cells_per_object
         )
 
-    def object_bytes(self, object_ids) -> bytes:
-        """Raw bytes of the payloads for ``object_ids``, concatenated."""
-        return self.read_objects(object_ids).tobytes()
+    def object_bytes(self, object_ids):
+        """Raw bytes of the payloads for ``object_ids``, concatenated.
 
-    def load_object_bytes(self, object_ids, raw: bytes) -> None:
-        """Inverse of :meth:`object_bytes`: install raw payload bytes."""
+        Returns a contiguous bytes-format ``memoryview`` over a fresh
+        buffer: the fancy-index gather is the single copy, with no second
+        ``.tobytes()`` flattening pass.  ``bytes(result)`` converts when an
+        owning ``bytes`` object is genuinely needed.
+        """
+        rows = self._object_matrix()[object_ids]
+        return rows.reshape(-1).view(np.uint8).data
+
+    def load_object_bytes(self, object_ids, raw) -> None:
+        """Inverse of :meth:`object_bytes`: install raw payload bytes.
+
+        ``raw`` is any contiguous bytes-like buffer (``bytes``,
+        ``bytearray``, ``memoryview``); it is read in place, never staged.
+        """
         payloads = np.frombuffer(raw, dtype=self._dtype)
         self.write_objects(object_ids, payloads)
+
+    def load_object_range(self, start: int, count: int, raw) -> None:
+        """Install payload bytes for the id-contiguous run ``[start, start+count)``.
+
+        The zero-copy fast path for streamed restore regions: one contiguous
+        slice assignment from a ``np.frombuffer`` view of ``raw``, with no
+        fancy-index scatter and no staging copy.
+        """
+        if start < 0 or count < 0 or start + count > self._geometry.num_objects:
+            raise GeometryError(
+                f"object range [{start}, {start + count}) outside "
+                f"[0, {self._geometry.num_objects})"
+            )
+        data = np.frombuffer(raw, dtype=self._dtype)
+        cells_per_object = self._geometry.cells_per_object
+        if data.size != count * cells_per_object:
+            raise GeometryError(
+                f"payload has {data.size} cells, range expects "
+                f"{count * cells_per_object}"
+            )
+        base = start * cells_per_object
+        self._buffer[base: base + data.size] = data
 
     def full_image(self) -> bytes:
         """Raw bytes of the entire padded state -- one full checkpoint image."""
         return self._buffer.tobytes()
 
-    def load_full_image(self, raw: bytes) -> None:
-        """Install a full checkpoint image produced by :meth:`full_image`."""
+    def load_full_image(self, raw) -> None:
+        """Install a full checkpoint image produced by :meth:`full_image`.
+
+        Accepts any contiguous bytes-like buffer (``bytes``, ``bytearray``,
+        ``memoryview``) without a staging copy.
+        """
         data = np.frombuffer(raw, dtype=self._dtype)
         if data.size != self._buffer.size:
             raise GeometryError(

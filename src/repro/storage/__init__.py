@@ -19,11 +19,12 @@ real:
 
 from repro.storage.action_log import ActionLog, TickRecord
 from repro.storage.checkpoint_log import CheckpointLogStore
-from repro.storage.double_backup import DoubleBackupStore
+from repro.storage.double_backup import DoubleBackupStore, StreamingRestore
 
 __all__ = [
     "ActionLog",
     "CheckpointLogStore",
     "DoubleBackupStore",
+    "StreamingRestore",
     "TickRecord",
 ]

@@ -24,13 +24,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.config import StateGeometry
 from repro.errors import NoConsistentCheckpointError, StorageError
-from repro.storage.double_backup import resolve_fsync_policy
+from repro.storage.double_backup import (
+    RESTORE_REGION_OBJECTS,
+    StreamingRestore,
+    resolve_fsync_policy,
+)
 from repro.storage.layout import (
     RECORD_CHECKPOINT_BEGIN,
     RECORD_CHECKPOINT_COMMIT,
@@ -39,6 +43,7 @@ from repro.storage.layout import (
     pack_geometry,
     pack_record,
     pack_record_parts,
+    pread_into,
     unpack_geometry,
     unpack_record_header,
     verify_record,
@@ -337,14 +342,6 @@ class CheckpointLogStore:
             handle.seek(offset)
         return checkpoints
 
-    def _read_run(self, run: Tuple[int, int]) -> Tuple[np.ndarray, bytes]:
-        payload_offset, count = run
-        ids_bytes = count * 8
-        self._handle.seek(payload_offset)
-        body = self._handle.read(ids_bytes + count * self._geometry.object_bytes)
-        object_ids = np.frombuffer(body[:ids_bytes], dtype=np.int64)
-        return object_ids, body[ids_bytes:]
-
     def latest_committed(self) -> Tuple[int, int]:
         """``(epoch, cut_tick)`` of the newest committed checkpoint."""
         committed = [c for c in self._scan() if c.committed]
@@ -355,14 +352,25 @@ class CheckpointLogStore:
         last = max(committed, key=lambda c: c.epoch)
         return last.epoch, last.cut_tick
 
-    def restore_image(self) -> Tuple[bytes, int, int]:
-        """Reconstruct the newest committed checkpoint image.
+    def restore_image_streaming(
+        self, region_objects: Optional[int] = None
+    ) -> StreamingRestore:
+        """Newest committed checkpoint as a :class:`StreamingRestore`.
 
-        Returns ``(image_bytes, epoch, cut_tick)``.  The image contains, for
-        every atomic object, its latest committed version at or before the
-        recovered epoch; objects never written (possible only if the log
-        lacks a full dump) are zero-filled.
+        One metadata pass resolves, for every object, which OBJECTS record
+        holds its latest committed version at or before the recovered epoch
+        (the state a backwards scan would reconstruct), entirely with sorted
+        numpy id arrays -- no per-object Python loop.  The regions iterator
+        then reads only the winning payload spans via positioned reads, in
+        ascending object-id order; objects never written (possible only if
+        the log lacks a full dump) come out zero-filled.
         """
+        if region_objects is None:
+            region_objects = RESTORE_REGION_OBJECTS
+        if region_objects <= 0:
+            raise StorageError(
+                f"region_objects must be positive, got {region_objects}"
+            )
         checkpoints = self._scan()
         committed = [c for c in checkpoints if c.committed]
         if not committed:
@@ -370,24 +378,116 @@ class CheckpointLogStore:
                 f"no committed checkpoint in {self._path}"
             )
         target = max(committed, key=lambda c: c.epoch)
-        geometry = self._geometry
-        object_bytes = geometry.object_bytes
-        image = bytearray(geometry.num_objects * object_bytes)
-        # Apply committed checkpoints in epoch order up to the target; later
-        # versions of an object overwrite earlier ones, yielding exactly the
-        # state a backwards scan would reconstruct.
+        # Runs in replay order: epoch ascending, submission order within a
+        # checkpoint.  Later runs beat earlier ones for duplicated ids.
+        runs: List[Tuple[int, int]] = []
         for checkpoint in sorted(committed, key=lambda c: c.epoch):
             if checkpoint.epoch > target.epoch:
                 continue
-            for run in checkpoint.object_runs:
-                object_ids, payloads = self._read_run(run)
-                view = memoryview(payloads)
-                for position, object_id in enumerate(object_ids):
-                    start = int(object_id) * object_bytes
-                    image[start: start + object_bytes] = view[
-                        position * object_bytes: (position + 1) * object_bytes
-                    ]
-        return bytes(image), target.epoch, target.cut_tick
+            runs.extend(checkpoint.object_runs)
+        winners = self._resolve_winners(runs)
+        return StreamingRestore(
+            epoch=target.epoch,
+            cut_tick=target.cut_tick,
+            num_objects=self._geometry.num_objects,
+            regions=self._stream_regions(runs, winners, region_objects),
+        )
+
+    def _resolve_winners(self, runs: List[Tuple[int, int]]):
+        """Last-writer-wins resolution over ``runs`` (in apply order).
+
+        Returns ``(object_ids, run_of, pos_of)``: the sorted unique ids with
+        any committed version, and for each the index of the winning run and
+        the row position within that run's payload.
+        """
+        self._handle.flush()
+        fd = self._handle.fileno()
+        ids_parts = []
+        for payload_offset, count in runs:
+            ids = np.empty(count, dtype=np.int64)
+            read = pread_into(fd, ids, payload_offset)
+            if read != ids.nbytes:
+                raise StorageError(
+                    f"log truncated reading ids at offset {payload_offset}"
+                )
+            ids_parts.append(ids)
+        if not ids_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        counts = np.array([ids.size for ids in ids_parts], dtype=np.int64)
+        part_starts = np.concatenate(([0], np.cumsum(counts)))
+        all_ids = np.concatenate(ids_parts)
+        # Stable sort keeps apply order among duplicates; keeping the last
+        # occurrence of each id selects the winning (newest) version.
+        order = np.argsort(all_ids, kind="stable")
+        sorted_ids = all_ids[order]
+        keep = np.concatenate((np.diff(sorted_ids) != 0, [True]))
+        object_ids = sorted_ids[keep]
+        source = order[keep]
+        run_of = np.searchsorted(part_starts, source, side="right") - 1
+        pos_of = source - part_starts[run_of]
+        return object_ids, run_of, pos_of
+
+    def _stream_regions(
+        self, runs, winners, region_objects: int
+    ) -> Iterator[Tuple[int, int, bytearray]]:
+        """Yield winning payloads gathered into ascending id regions.
+
+        Per region, each contributing run is read once as the span covering
+        its winning rows (one positioned read) and the rows are scattered
+        into the region buffer with a single fancy-indexed assignment.
+        """
+        object_ids, run_of, pos_of = winners
+        geometry = self._geometry
+        object_bytes = geometry.object_bytes
+        num_objects = geometry.num_objects
+        self._handle.flush()
+        fd = self._handle.fileno()
+        for start in range(0, num_objects, region_objects):
+            count = min(region_objects, num_objects - start)
+            buffer = bytearray(count * object_bytes)
+            lo, hi = np.searchsorted(object_ids, (start, start + count))
+            if lo != hi:
+                region_rows = np.frombuffer(buffer, dtype=np.uint8).reshape(
+                    count, object_bytes
+                )
+                slot = object_ids[lo:hi] - start
+                run_sel = run_of[lo:hi]
+                pos_sel = pos_of[lo:hi]
+                for run_index in np.unique(run_sel):
+                    mask = run_sel == run_index
+                    positions = pos_sel[mask]
+                    first = int(positions.min())
+                    last = int(positions.max())
+                    payload_offset, run_count = runs[run_index]
+                    span = np.empty(
+                        (last - first + 1, object_bytes), dtype=np.uint8
+                    )
+                    offset = (
+                        payload_offset + run_count * 8 + first * object_bytes
+                    )
+                    read = pread_into(fd, span, offset)
+                    if read != span.nbytes:
+                        raise StorageError(
+                            f"log truncated reading payloads at offset {offset}"
+                        )
+                    region_rows[slot[mask]] = span[positions - first]
+            yield start, count, buffer
+
+    def restore_image(self) -> Tuple[bytes, int, int]:
+        """Reconstruct the newest committed checkpoint image.
+
+        Returns ``(image_bytes, epoch, cut_tick)``.  Built on
+        :meth:`restore_image_streaming`; the regions are concatenated into
+        one contiguous image for callers that want the whole state at once.
+        """
+        restore = self.restore_image_streaming()
+        object_bytes = self._geometry.object_bytes
+        image = bytearray(restore.num_objects * object_bytes)
+        for start, count, payload in restore.regions:
+            offset = start * object_bytes
+            image[offset: offset + count * object_bytes] = payload
+        return bytes(image), restore.epoch, restore.cut_tick
 
     def restore_scan_bytes(self) -> int:
         """Bytes a backwards restore scan reads: from the end of the log back

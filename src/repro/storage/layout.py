@@ -182,6 +182,7 @@ def pack_record_parts(
 # ---------------------------------------------------------------------------
 
 HAS_PWRITEV = hasattr(os, "pwritev")
+HAS_PREADV = hasattr(os, "preadv")
 HAS_WRITEV = hasattr(os, "writev")
 
 try:
@@ -189,6 +190,32 @@ try:
     IOV_MAX = os.sysconf("SC_IOV_MAX")
 except (AttributeError, ValueError, OSError):  # pragma: no cover
     IOV_MAX = 1024
+
+
+def pread_into(fd: int, buffer, offset: int) -> int:
+    """Positioned read at ``offset`` filling ``buffer`` (a writable
+    bytes-like), retrying partial reads.
+
+    Uses ``os.preadv`` straight into the caller's buffer -- one syscall in
+    the common case, no seek (so a background restore reader never disturbs
+    the handle's buffered position) and no per-retry concatenation.  Stops
+    early at end-of-file; returns the number of bytes read, which callers
+    compare against the buffer size to detect truncation.
+    """
+    view = memoryview(buffer).cast("B")
+    size = view.nbytes
+    total = 0
+    while total < size:
+        if HAS_PREADV:
+            read = os.preadv(fd, [view[total:]], offset + total)
+        else:  # pragma: no cover - non-POSIX fallback
+            chunk = os.pread(fd, size - total, offset + total)
+            read = len(chunk)
+            view[total: total + read] = chunk
+        if read == 0:
+            break
+        total += read
+    return total
 
 
 def pwrite_all(fd: int, buffer, offset: int) -> int:

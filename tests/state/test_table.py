@@ -147,3 +147,76 @@ class TestCopyAndEquality:
         table = GameStateTable(geometry, dtype=np.float32)
         table.fill_random(np.random.default_rng(0))
         assert table.cells.any()
+
+
+class TestObjectRangeLoads:
+    def test_load_object_range_round_trip(self, table):
+        table.flat[:] = np.arange(100, dtype=np.uint32)
+        raw = bytes(table.object_bytes(np.array([2, 3, 4])))
+        table.flat[:] = 0
+        table.load_object_range(2, 3, raw)
+        assert table.flat[32:80].tolist() == list(range(32, 80))
+        assert table.flat[0] == 0
+
+    def test_load_object_range_accepts_memoryview_and_bytearray(self, table):
+        payload = bytearray(2 * 64)
+        payload[:4] = (123).to_bytes(4, "little")
+        table.load_object_range(0, 2, memoryview(payload))
+        assert table.flat[0] == 123
+
+    def test_load_object_range_bounds_checked(self, table):
+        with pytest.raises(GeometryError):
+            table.load_object_range(6, 2, bytes(2 * 64))
+        with pytest.raises(GeometryError):
+            table.load_object_range(-1, 1, bytes(64))
+        with pytest.raises(GeometryError):
+            table.load_object_range(0, 2, bytes(64))
+
+    def test_object_bytes_is_single_copy_view(self, table):
+        table.flat[:] = np.arange(100, dtype=np.uint32)
+        raw = table.object_bytes(np.array([1]))
+        assert isinstance(raw, memoryview)
+        assert len(raw) == 64
+        # The buffer is a copy: later table writes must not leak into it.
+        before = bytes(raw)
+        table.flat[16] = 999
+        assert bytes(raw) == before
+
+    def test_load_full_image_accepts_memoryview(self, table):
+        table.flat[:] = np.arange(100, dtype=np.uint32)
+        image = bytearray(table.full_image())
+        table.flat[:] = 0
+        table.load_full_image(memoryview(image))
+        assert table.flat[99] == 99
+
+
+class TestValidateFastPath:
+    def test_validate_false_skips_bounds_check(self, table):
+        rows = np.array([0, 9])
+        columns = np.array([0, 9])
+        values = np.array([7, 8], dtype=np.uint32)
+        touched = table.apply_updates(rows, columns, values, validate=False)
+        assert table.cells[9, 9] == 8
+        assert touched.tolist() == table.apply_updates(
+            rows, columns, values
+        ).tolist()
+
+    def test_fused_check_still_names_the_bad_axis(self, table):
+        with pytest.raises(GeometryError, match="row index"):
+            table.apply_updates(
+                np.array([10]), np.array([0]), np.array([1], dtype=np.uint32)
+            )
+        with pytest.raises(GeometryError, match="column index"):
+            table.apply_updates(
+                np.array([0]), np.array([-1]), np.array([1], dtype=np.uint32)
+            )
+
+    def test_cell_updates_validate_flag(self, table):
+        table.apply_cell_updates(
+            np.array([5]), np.array([42], dtype=np.uint32), validate=False
+        )
+        assert table.flat[5] == 42
+        with pytest.raises(GeometryError):
+            table.apply_cell_updates(
+                np.array([100]), np.array([1], dtype=np.uint32)
+            )
