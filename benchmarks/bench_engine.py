@@ -9,6 +9,12 @@ same-thread drain, on the real Knights-and-Archers game:
   ticks that ran while a checkpoint write was in flight);
 * **fleet scaling**: aggregate ticks/sec for 1..N shards, each shard a
   mutator thread plus its own writer thread;
+* **backend scaling**: the thread-vs-process A/B -- the same pooled fleet
+  with mutators as GIL-sharing threads vs worker processes over
+  shared-memory tables, 1..N shards each, with per-backend
+  ``scaling_efficiency`` (aggregate speedup over 1 shard, divided by the
+  shard count).  On hosts with >= 4 usable cores the process backend at
+  4 shards must clear 2x the threaded aggregate (efficiency >= 0.5);
 * **writer pool**: the same fleet with a shared
   :class:`~repro.engine.writer_pool.CheckpointWriterPool` across pool sizes
   -- writer thread count, throughput, and batch coalescing stats;
@@ -42,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import shutil
 import sys
@@ -56,7 +63,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.config import StateGeometry  # noqa: E402
 from repro.core.registry import ALGORITHM_KEYS  # noqa: E402
-from repro.engine.fleet import ShardFleet, shard_directory  # noqa: E402
+from repro.cpu import available_cpu_count  # noqa: E402
+from repro.engine.fleet import (  # noqa: E402
+    FLEET_BACKENDS,
+    ShardFleet,
+    shard_directory,
+)
 from repro.engine.recovery import RecoveryManager  # noqa: E402
 from repro.engine.server import DurableGameServer  # noqa: E402
 from repro.engine.shard import MMOShard  # noqa: E402
@@ -152,6 +164,7 @@ def measure_fleet(
     fsync_policy: str = None,
     pool_admission: str = "staleness",
     pool_coalesce: bool = True,
+    backend: str = "thread",
 ) -> dict:
     """Aggregate async throughput of ``num_shards`` concurrent shards.
 
@@ -167,6 +180,10 @@ def measure_fleet(
         "pool_admission": pool_admission,
         "pool_coalesce": pool_coalesce,
     }
+    if backend == "process":
+        # The process backend always checkpoints through the shared pool.
+        kwargs.pop("async_writer", None)
+        kwargs.setdefault("pool_size", pool_size)
     if fsync_policy is not None:
         kwargs["fsync_policy"] = fsync_policy
     fleet = ShardFleet(
@@ -176,6 +193,7 @@ def measure_fleet(
         algorithm=algorithm,
         seed=seed,
         min_checkpoint_interval_ticks=min_interval,
+        backend=backend,
         **kwargs,
     )
     try:
@@ -191,6 +209,7 @@ def measure_fleet(
         fleet.close()
     checkpoints = sum(s.checkpoints_completed for s in report.shard_stats)
     point = {
+        "backend": backend,
         "num_shards": num_shards,
         "pool_size": pool_size,
         "fsync_policy": fsync_policy or "never",
@@ -221,6 +240,88 @@ def measure_fleet(
             "end_of_run_checkpoint_age_ticks": end_of_run_age,
         }
     return point
+
+
+def measure_backend_scaling(
+    scenario: BattleScenario,
+    root: str,
+    algorithm: str,
+    seed: int,
+    ticks: int,
+    min_interval: int,
+    max_shards: int,
+    pool_size: int,
+) -> dict:
+    """Thread-vs-process fleet A/B, 1..``max_shards`` shards per backend.
+
+    Both backends run the identical pooled configuration -- same
+    algorithm, cadence, and writer pool size -- so the only variable is
+    where the mutator tick loops live: GIL-sharing threads in this
+    process, or worker processes ticking shared-memory tables on their
+    own cores.  ``scaling_efficiency`` for a point is its aggregate
+    speedup over the same backend's 1-shard run divided by the shard
+    count (1.0 = perfect linear scaling); the threaded backend is pinned
+    near ``1/num_shards`` by the GIL, which is exactly the ceiling the
+    process backend exists to remove.
+    """
+    cores = available_cpu_count()
+    backends = [
+        backend for backend in FLEET_BACKENDS
+        if backend != "process"
+        or "fork" in multiprocessing.get_all_start_methods()
+    ]
+    points = []
+    baselines = {}
+    for backend in backends:
+        num_shards = 1
+        while num_shards <= max_shards:
+            point = measure_fleet(
+                scenario,
+                os.path.join(root, f"backend-{backend}-{num_shards}"),
+                algorithm,
+                seed,
+                ticks,
+                min_interval,
+                num_shards,
+                pool_size=pool_size,
+                backend=backend,
+            )
+            if num_shards == 1:
+                baselines[backend] = point["ticks_per_second"]
+            baseline = baselines[backend]
+            point["scaling_efficiency"] = (
+                point["ticks_per_second"] / baseline / num_shards
+                if baseline > 0 else 0.0
+            )
+            points.append(point)
+            num_shards *= 2
+
+    def at(backend, num_shards):
+        for point in points:
+            if (point["backend"] == backend
+                    and point["num_shards"] == num_shards):
+                return point
+        return None
+
+    top_thread = at("thread", max_shards)
+    top_process = at("process", max_shards)
+    summary = {
+        "available_cpus": cores,
+        "pool_size": pool_size,
+        "max_shards": max_shards,
+        "points": points,
+        "multicore_host": cores >= 4,
+    }
+    if top_thread is not None and top_process is not None:
+        thread_tps = top_thread["ticks_per_second"]
+        summary["process_speedup_at_max_shards"] = (
+            top_process["ticks_per_second"] / thread_tps
+            if thread_tps > 0 else 0.0
+        )
+        summary["process_scaling_efficiency"] = (
+            top_process["scaling_efficiency"]
+        )
+    return summary
 
 
 class _ZeroSource:
@@ -777,6 +878,12 @@ def main(argv=None) -> int:
                         help="ticks between checkpoint starts (default 16; "
                              "pins the checkpoint cadence so the sync and "
                              "async modes are compared like for like)")
+    parser.add_argument("--backend-shards", type=int, default=4,
+                        help="largest fleet size for the thread-vs-process "
+                             "backend A/B (default 4)")
+    parser.add_argument("--backend-pool-size", type=int, default=2,
+                        help="writer pool size for the backend A/B "
+                             "(default 2)")
     parser.add_argument("--pool-sizes", type=int, nargs="*", default=[1, 2, 4],
                         help="writer pool sizes for the pooled fleet section "
                              "(default: 1 2 4)")
@@ -814,6 +921,7 @@ def main(argv=None) -> int:
         args.shards = min(args.shards, 2)
         args.ticks = min(args.ticks, 60)
         args.units = min(args.units, 2048)
+        args.backend_shards = min(args.backend_shards, 2)
         args.pool_sizes = [size for size in args.pool_sizes if size <= 2]
         args.coalesce_pool_size = min(args.coalesce_pool_size, 2)
         args.overload_shards = min(args.overload_shards, 4)
@@ -830,6 +938,8 @@ def main(argv=None) -> int:
             "algorithm": args.algorithm,
             "min_checkpoint_interval_ticks": args.min_checkpoint_interval,
             "max_shards": args.shards,
+            "backend_shards": args.backend_shards,
+            "backend_pool_size": args.backend_pool_size,
             "pool_sizes": args.pool_sizes,
             "coalesce_pool_size": args.coalesce_pool_size,
             "flush_rows": args.flush_rows,
@@ -899,6 +1009,24 @@ def main(argv=None) -> int:
                   f"ckpts {point['checkpoints_completed']}")
             num_shards *= 2
         results["fleet"] = fleet_points
+
+        print(f"backend scaling (thread vs process, up to "
+              f"{args.backend_shards} shards, pool="
+              f"{args.backend_pool_size}):")
+        backend_scaling = measure_backend_scaling(
+            scenario, root, args.algorithm, args.seed, args.ticks,
+            args.min_checkpoint_interval, args.backend_shards,
+            pool_size=args.backend_pool_size,
+        )
+        results["backend_scaling"] = backend_scaling
+        for point in backend_scaling["points"]:
+            print(f"  {point['backend']:7s} {point['num_shards']} shard(s): "
+                  f"{point['ticks_per_second']:8.1f} t/s aggregate  "
+                  f"efficiency {point['scaling_efficiency']:.2f}")
+        if "process_speedup_at_max_shards" in backend_scaling:
+            print(f"  process/thread at {args.backend_shards} shards: "
+                  f"{backend_scaling['process_speedup_at_max_shards']:.2f}x "
+                  f"({backend_scaling['available_cpus']} usable core(s))")
 
         print(f"writer pool ({args.shards} shards, shared pool):")
         pool_points = []
@@ -1056,6 +1184,21 @@ def main(argv=None) -> int:
         print("ERROR: serial and parallel fleet recovery disagree",
               file=sys.stderr)
         return 3
+    if (backend_scaling["multicore_host"] and args.backend_shards >= 4
+            and "process_speedup_at_max_shards" in backend_scaling):
+        speedup = backend_scaling["process_speedup_at_max_shards"]
+        efficiency = backend_scaling["process_scaling_efficiency"]
+        if speedup < 2.0 or efficiency < 0.5:
+            print(f"ERROR: process backend at {args.backend_shards} shards "
+                  f"reached only {speedup:.2f}x the threaded aggregate "
+                  f"(scaling efficiency {efficiency:.2f}) on a "
+                  f"{backend_scaling['available_cpus']}-core host; "
+                  f"expected >= 2.0x and >= 0.5", file=sys.stderr)
+            return 5
+    elif not backend_scaling["multicore_host"]:
+        print("NOTE: backend-scaling speedup not enforced on this host "
+              f"({backend_scaling['available_cpus']} usable core(s) < 4); "
+              "the A/B ran for correctness and trend only")
     return 0
 
 

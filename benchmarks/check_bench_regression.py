@@ -72,6 +72,19 @@ def fleet_metrics(results: dict):
                point.get("ticks_per_second"), True)
 
 
+def backend_scaling_metrics(results: dict):
+    """Yield per-point thread/process backend throughput and efficiency."""
+    scaling = results.get("backend_scaling", {})
+    for point in scaling.get("points", []):
+        shape = f"{point['backend']} backend {point['num_shards']} shard(s)"
+        yield (f"{shape} throughput", point.get("ticks_per_second"), True)
+        yield (f"{shape} scaling efficiency",
+               point.get("scaling_efficiency"), True)
+    if "process_speedup_at_max_shards" in scaling:
+        yield ("process-over-thread aggregate speedup",
+               scaling["process_speedup_at_max_shards"], True)
+
+
 def recovery_scale_metrics(results: dict):
     """Yield per-point recovery wall times and speedups keyed by shape."""
     scale = results.get("recovery_scale", {})
@@ -86,7 +99,9 @@ def recovery_scale_metrics(results: dict):
 
 #: Dynamic metric generators: labels are derived from the run's own points,
 #: and only labels present in both runs are compared.
-DYNAMIC_METRICS = [fleet_metrics, recovery_scale_metrics]
+DYNAMIC_METRICS = [
+    fleet_metrics, backend_scaling_metrics, recovery_scale_metrics
+]
 
 
 def compare(current: dict, baseline: dict, threshold: float):

@@ -10,12 +10,20 @@ every tick to the logical :class:`~repro.storage.action_log.ActionLog`, and
 surviving crashes: :class:`~repro.engine.recovery.RecoveryManager` restores
 the newest consistent checkpoint and replays the log to the exact crash
 tick.  :class:`~repro.engine.fleet.ShardFleet` scales the same machinery to
-N concurrent shards.
+N concurrent shards -- as threads sharing the GIL, or with
+``backend="process"`` as worker processes over shared-memory state tables
+(:mod:`repro.engine.shard_worker`), one core per shard.
 """
 
 from repro.engine.app import TickApplication, TickUpdatesPlan
 from repro.engine.executor import RealExecutor
-from repro.engine.fleet import FLEET_RECOVERY_MODES, FleetRunReport, ShardFleet
+from repro.engine.fleet import (
+    FLEET_BACKENDS,
+    FLEET_RECOVERY_MODES,
+    FleetRunReport,
+    ShardFleet,
+)
+from repro.engine.shard_worker import WorkerCheckpointProxy
 from repro.engine.recovery import (
     RECOVERY_MODES,
     RecoveryManager,
@@ -28,6 +36,7 @@ from repro.engine.writer_pool import CheckpointWriterPool, PoolStats, PoolWriter
 
 __all__ = [
     "AsyncCheckpointWriter",
+    "FLEET_BACKENDS",
     "FLEET_RECOVERY_MODES",
     "RECOVERY_MODES",
     "CheckpointJob",
@@ -44,5 +53,6 @@ __all__ = [
     "ShardRecovery",
     "TickApplication",
     "TickUpdatesPlan",
+    "WorkerCheckpointProxy",
     "WriterStats",
 ]

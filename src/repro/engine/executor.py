@@ -70,6 +70,7 @@ class RealExecutor(SubroutineExecutor):
         writer_chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
         writer_pool: Optional[CheckpointWriterPool] = None,
         writer_name: Optional[str] = None,
+        writer: Optional[object] = None,
     ) -> None:
         geometry = table.geometry
         if store.geometry != geometry:
@@ -92,7 +93,20 @@ class RealExecutor(SubroutineExecutor):
         )
         self._snapshot_mask = np.zeros(num_objects, dtype=bool)
         self._all_ids = np.arange(num_objects, dtype=np.int64)
-        if writer_pool is not None:
+        if writer is not None:
+            # Pre-built writer-like object (submit/check/idle/stats/close/
+            # last_committed), e.g. the process-backend worker's checkpoint
+            # proxy.  A writer that declares ``concurrent_reader = False``
+            # never reads the table from another thread -- it captures the
+            # payloads synchronously inside ``submit`` -- so the stripe-lock
+            # protocol (and its per-update cost) is skipped entirely.
+            self._writer = writer
+            self._locks = (
+                StripeLockSet(num_objects, num_stripes)
+                if getattr(writer, "concurrent_reader", True)
+                else None
+            )
+        elif writer_pool is not None:
             # Shared-pool mode: register the store and submit through the
             # handle; the same cut-consistency protocol applies, the flush
             # just runs on one of the pool's workers instead of a dedicated
@@ -252,7 +266,11 @@ class RealExecutor(SubroutineExecutor):
             # whenever the writer thread may be reading them concurrently.
             fresh = ids[~self._snapshot_mask[ids]]
             if fresh.size:
-                if self._writer is not None and not self._writer.idle:
+                if (
+                    self._locks is not None
+                    and self._writer is not None
+                    and not self._writer.idle
+                ):
                     with self._locks.locked(fresh):
                         self._snapshot[fresh] = self._table.read_objects(fresh)
                         self._snapshot_mask[fresh] = True
@@ -319,9 +337,28 @@ class RealExecutor(SubroutineExecutor):
         concurrent ``Handle-Update`` of any of these objects either completed
         its old-value save before we looked (we read the snapshot) or is
         still waiting for the stripes (the live value is the cut value).
+
+        With a ``concurrent_reader = False`` writer there are no stripes:
+        the call must then come from the game thread itself (the process
+        backend stages payloads synchronously inside ``submit``).
         """
+        if self._locks is None:
+            return self._gather_payloads(object_ids)
         with self._locks.locked(object_ids):
             return self._gather_payloads(object_ids)
+
+    def read_payloads_into(self, object_ids: np.ndarray, out: np.ndarray) -> None:
+        """Cut-consistent payloads gathered straight into ``out``.
+
+        The zero-intermediate-copy variant of :meth:`read_payloads` for
+        same-thread callers (no stripe locks taken): the process backend
+        uses it to stage a checkpoint's payloads into shared memory at the
+        cut, before the mutator runs another tick.
+        """
+        self._table.gather_objects_into(object_ids, out)
+        saved = self._snapshot_mask[object_ids]
+        if saved.any():
+            out[saved] = self._snapshot[object_ids[saved]]
 
     def _commit(self) -> None:
         self._store.commit_checkpoint(self._task_cut_tick)

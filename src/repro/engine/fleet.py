@@ -15,6 +15,20 @@ and deterministic seed.  Checkpoint I/O runs in one of two shapes:
   keeps its own :class:`~repro.engine.writer.AsyncCheckpointWriter` thread,
   up to ``2 N`` threads total.
 
+Both shapes run the mutators as *threads*, which caps aggregate throughput
+at roughly one core (the GIL serializes the tick loops however many shards
+run).  ``backend="process"`` breaks that ceiling: each shard's mutator loop
+runs in a **worker process** whose
+:class:`~repro.state.table.GameStateTable` lives in a shared-memory
+:class:`~repro.state.shared.SharedArena`, while the parent keeps the shared
+writer pool and lands every checkpoint zero-copy from the worker's staged
+shared-memory bytes (see :mod:`repro.engine.shard_worker` for the cut
+protocol).  ``run_ticks`` / ``checkpoint_ages`` / ``crash`` / ``recover``
+behave identically across backends, worker death surfaces as that shard's
+failure (never a fleet hang), and the checkpoint files are byte-identical
+to the threaded backend's under a deterministic schedule
+(``checkpoint_barrier=True``).
+
 The fleet is the unit the throughput benchmark drives
 (``benchmarks/bench_engine.py``): :meth:`run_ticks` advances every shard by
 the same number of ticks, either on one thread (``parallel=False``, the
@@ -26,6 +40,7 @@ index-ordered result assembly.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
@@ -33,15 +48,35 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
+from repro.core.plan import DiskLayout
+from repro.core.registry import make_policy
 from repro.engine.app import TickApplication
 from repro.engine.recovery import RECOVERY_MODES
 from repro.engine.server import ServerStats
-from repro.engine.shard import MMOShard, ShardRecovery
+from repro.engine.shard import GAME_SUBDIRECTORY, MMOShard, ShardRecovery
+from repro.engine.shard_worker import (
+    CONTROL_SLOT,
+    F_COMMITTED_CUT,
+    F_COMMITTED_EPOCH,
+    F_TICKS_RUN,
+    ProcessShardHandle,
+    control_arena_slots,
+    shard_arena_slots,
+    shard_worker_main,
+)
 from repro.engine.writer_pool import CheckpointWriterPool
 from repro.errors import EngineError
+from repro.state.shared import SharedArena, reap_stale_segments
+from repro.storage.checkpoint_log import CheckpointLogStore
+from repro.storage.double_backup import DoubleBackupStore
 
 #: Subdirectory name of shard ``i`` under the fleet root.
 SHARD_DIRECTORY_FORMAT = "shard-{index:02d}"
+
+#: Fleet execution backends: ``thread`` runs mutators as threads in this
+#: process, ``process`` runs each mutator in a worker process over shared
+#: memory (requires the ``fork`` start method, i.e. not Windows).
+FLEET_BACKENDS = ("thread", "process")
 
 #: Fleet-level recovery modes: ``serial`` recovers shards one after another,
 #: ``parallel`` recovers shards on a thread pool, ``pipelined`` additionally
@@ -52,6 +87,33 @@ FLEET_RECOVERY_MODES = ("serial", "parallel", "pipelined")
 def shard_directory(root: Union[str, os.PathLike], index: int) -> str:
     """Directory of shard ``index`` under the fleet root."""
     return os.path.join(os.fspath(root), SHARD_DIRECTORY_FORMAT.format(index=index))
+
+
+def _open_parent_store(
+    game_directory: str,
+    geometry,
+    algorithm: str,
+    full_dump_period: int,
+    sync: bool,
+    fsync_policy: Optional[str],
+):
+    """The parent's own handle on a worker-created checkpoint store.
+
+    Mirrors :class:`~repro.engine.server.DurableGameServer`'s store choice
+    for the algorithm; both store types tolerate opening existing files
+    (the log store verifies the geometry record, the double backup attaches
+    read-write), and only the parent ever writes checkpoint records.
+    """
+    policy = make_policy(
+        algorithm, geometry.num_objects, full_dump_period=full_dump_period
+    )
+    if policy.layout is DiskLayout.DOUBLE_BACKUP:
+        return DoubleBackupStore(
+            game_directory, geometry, sync=sync, fsync_policy=fsync_policy
+        )
+    return CheckpointLogStore(
+        game_directory, geometry, sync=sync, fsync_policy=fsync_policy
+    )
 
 
 @dataclass(frozen=True)
@@ -82,13 +144,45 @@ class ShardFleet:
         pool_batch_jobs: int = 8,
         pool_admission: str = "staleness",
         pool_coalesce: bool = True,
+        backend: str = "thread",
         **shard_kwargs,
     ) -> None:
         if num_shards <= 0:
             raise EngineError(f"num_shards must be positive, got {num_shards}")
+        if backend not in FLEET_BACKENDS:
+            raise EngineError(
+                f"backend must be one of {FLEET_BACKENDS}, got {backend!r}"
+            )
         self._directory = os.fspath(directory)
         self._num_shards = num_shards
+        self._backend = backend
         self._pool: Optional[CheckpointWriterPool] = None
+        self._shards: List[MMOShard] = []
+        self._workers: List[ProcessShardHandle] = []
+        self._parent_stores: List[object] = []
+        self._control: Optional[SharedArena] = None
+        self._arenas: List[SharedArena] = []
+        if backend == "process":
+            # The parent always flushes through a shared pool; a fleet that
+            # did not ask for one gets a small default crew.
+            if pool_size is None:
+                pool_size = 2
+            self._pool = CheckpointWriterPool(
+                pool_size,
+                max_pending=pool_max_pending,
+                batch_jobs=pool_batch_jobs,
+                admission=pool_admission,
+                coalesce=pool_coalesce,
+            )
+            try:
+                self._start_workers(
+                    app_factory, algorithm, seed, dict(shard_kwargs)
+                )
+            except BaseException:
+                self._teardown_process_backend(kill=True)
+                raise
+            self._crashed = False
+            return
         if pool_size is not None:
             self._pool = CheckpointWriterPool(
                 pool_size,
@@ -101,7 +195,6 @@ class ShardFleet:
             shard_kwargs["writer_pool"] = self._pool
             # The pool supersedes the one-thread-per-shard fallback.
             shard_kwargs.pop("async_writer", None)
-        self._shards: List[MMOShard] = []
         try:
             for index in range(num_shards):
                 if self._pool is not None:
@@ -124,6 +217,161 @@ class ShardFleet:
         self._crashed = False
 
     # ------------------------------------------------------------------
+    # Process-backend bring-up and teardown
+    # ------------------------------------------------------------------
+
+    def _start_workers(
+        self,
+        app_factory: Callable[[int], TickApplication],
+        algorithm: str,
+        seed: int,
+        shard_kwargs: dict,
+    ) -> None:
+        """Fork one worker per shard over freshly allocated shared arenas.
+
+        Phased for fork safety: every segment is created and every worker
+        forked *before* any parent-side thread starts (the pool's writer
+        threads spin up lazily on the first submit; the per-shard
+        dispatchers start last), so no child can inherit a locked thread.
+        The parent opens its own store handles only after each worker's
+        ``ready`` handshake confirms the files exist.
+        """
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            raise EngineError(
+                "backend='process' needs the fork start method "
+                "(unavailable on this platform)"
+            ) from None
+        # A previous parent that was SIGKILLed may have left segments
+        # behind; their owner pid is dead, so this reclaims them.
+        reap_stale_segments()
+        shard_kwargs.pop("writer_pool", None)
+        shard_kwargs.pop("async_writer", None)
+        shard_kwargs.pop("writer_name", None)
+        sync = shard_kwargs.get("sync", False)
+        fsync_policy = shard_kwargs.get("fsync_policy")
+        full_dump_period = shard_kwargs.get("full_dump_period", 9)
+        self._control = SharedArena.create(
+            control_arena_slots(self._num_shards)
+        )
+        control = self._control.array(CONTROL_SLOT)
+        forked = []  # (index, app, process, parent_conn, arena)
+        for index in range(self._num_shards):
+            app = app_factory(index)
+            arena = SharedArena.create(
+                shard_arena_slots(app.geometry, app.dtype)
+            )
+            self._arenas.append(arena)
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=shard_worker_main,
+                args=(
+                    index,
+                    app,
+                    shard_directory(self._directory, index),
+                    algorithm,
+                    seed + index,
+                    shard_kwargs,
+                    arena,
+                    self._control,
+                    child_conn,
+                ),
+                name=f"repro-shard-{index:02d}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            forked.append((index, app, process, parent_conn, arena))
+        try:
+            for index, app, process, parent_conn, arena in forked:
+                try:
+                    message = parent_conn.recv()
+                except EOFError:
+                    process.join(timeout=5.0)
+                    raise EngineError(
+                        f"shard {index} worker died during startup "
+                        f"(exit code {process.exitcode})"
+                    ) from None
+                if message[0] == "fatal":
+                    raise EngineError(
+                        f"shard {index} worker failed to start:\n{message[1]}"
+                    )
+                if message[0] != "ready":
+                    raise EngineError(
+                        f"shard {index} worker sent {message[0]!r} before "
+                        "ready"
+                    )
+                # The worker has created the store files; open our own
+                # handles on them (only the parent writes checkpoint
+                # records).
+                store = _open_parent_store(
+                    os.path.join(
+                        shard_directory(self._directory, index),
+                        GAME_SUBDIRECTORY,
+                    ),
+                    app.geometry,
+                    algorithm,
+                    full_dump_period,
+                    sync,
+                    fsync_policy,
+                )
+                self._parent_stores.append(store)
+                handle = ProcessShardHandle(
+                    index,
+                    process,
+                    parent_conn,
+                    arena,
+                    control[index],
+                    self._pool.register(store, name=f"shard-{index:02d}"),
+                )
+                self._workers.append(handle)
+        except BaseException:
+            # Kill every forked worker, including those not yet wrapped in
+            # a handle; the caller's teardown releases arenas and stores.
+            for _, _, process, _, _ in forked:
+                try:
+                    if process.is_alive():
+                        process.kill()
+                    process.join(timeout=5.0)
+                except Exception:
+                    pass
+            raise
+        for handle in self._workers:
+            handle.start_dispatcher()
+
+    def _teardown_process_backend(self, kill: bool) -> None:
+        """Release every process-backend resource; never raises."""
+        for handle in self._workers:
+            if kill:
+                try:
+                    handle.kill()
+                except Exception:
+                    pass
+        if self._pool is not None:
+            try:
+                self._pool.kill() if kill else self._pool.close(wait=False)
+            except Exception:
+                pass
+        for store in self._parent_stores:
+            try:
+                store.close()
+            except Exception:
+                pass
+        for handle in self._workers:
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+            handle.join_dispatcher()
+        for arena in self._arenas:
+            arena.destroy()
+        self._arenas = []
+        if self._control is not None:
+            self._control.destroy()
+            self._control = None
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -138,9 +386,26 @@ class ShardFleet:
         return self._num_shards
 
     @property
+    def backend(self) -> str:
+        """Execution backend: ``thread`` or ``process``."""
+        return self._backend
+
+    @property
     def shards(self) -> List[MMOShard]:
-        """The live shards, in index order."""
+        """The live shards, in index order (thread backend only)."""
+        if self._backend == "process":
+            raise EngineError(
+                "the process backend's shards live in worker processes; "
+                "use checkpoint_ages()/run_ticks() or the on-disk state"
+            )
         return list(self._shards)
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """Pids of the shard worker processes (process backend only)."""
+        if self._backend != "process":
+            raise EngineError("worker_pids is a process-backend property")
+        return [handle.process.pid for handle in self._workers]
 
     @property
     def writer_pool(self) -> Optional[CheckpointWriterPool]:
@@ -160,6 +425,16 @@ class ShardFleet:
             return 0
         return sum(1 for shard in self._shards if shard.game.async_writer)
 
+    @property
+    def alive_workers(self) -> List[bool]:
+        """Liveness of each shard's worker process (process backend only)."""
+        if self._backend != "process":
+            raise EngineError("alive_workers is a process-backend property")
+        return [
+            handle.failed is None and handle.process.is_alive()
+            for handle in self._workers
+        ]
+
     def checkpoint_ages(self) -> List[int]:
         """Per-shard checkpoint age, in ticks, at this instant.
 
@@ -171,7 +446,23 @@ class ShardFleet:
         handle (``PoolStats.max_checkpoint_age_ticks``); here it is measured
         against the shards' live tick counters, so time a checkpoint spends
         queued *or* in flight counts against the age.
+
+        On the process backend the same quantities come out of the shared
+        control region -- the workers publish their tick counters, the
+        parent its committed cuts -- so the semantics match exactly.
         """
+        if self._backend == "process":
+            control = self._control.array(CONTROL_SLOT)
+            ages = []
+            for index in range(self._num_shards):
+                row = control[index]
+                baseline = (
+                    int(row[F_COMMITTED_CUT])
+                    if int(row[F_COMMITTED_EPOCH]) > 0
+                    else -1
+                )
+                ages.append(max(0, int(row[F_TICKS_RUN]) - 1 - baseline))
+            return ages
         ages = []
         for shard in self._shards:
             server = shard.game
@@ -190,23 +481,64 @@ class ShardFleet:
     # Driving the fleet
     # ------------------------------------------------------------------
 
-    def run_ticks(self, count: int, parallel: bool = True) -> FleetRunReport:
+    def run_ticks(
+        self,
+        count: int,
+        parallel: bool = True,
+        checkpoint_barrier: bool = False,
+    ) -> FleetRunReport:
         """Advance every shard by ``count`` ticks.
 
-        With ``parallel=True`` each shard runs on its own thread (the fleet's
-        deployment shape); otherwise the shards run one after another on the
-        calling thread.  The first shard failure is re-raised after all
-        threads have stopped.
+        With ``parallel=True`` each shard runs on its own thread (thread
+        backend) or its worker process proceeds concurrently (process
+        backend); otherwise the shards run one after another.  The first
+        shard failure is re-raised after every other shard has finished its
+        ticks -- one shard failing never aborts or hangs the rest.
+
+        ``checkpoint_barrier=True`` makes every shard wait for its in-flight
+        checkpoint to become durable before running the next tick.  That
+        sacrifices tick/flush overlap, but makes the checkpoint *schedule* a
+        pure function of the tick number -- so two fleets with the same
+        seeds produce byte-identical checkpoint files on any backend, which
+        is how the backend-equivalence tests pin the process backend to the
+        threaded baseline.
         """
         if count < 0:
             raise EngineError(f"count must be non-negative, got {count}")
         started = time.perf_counter()
+        if self._backend == "process":
+            stats = self._run_ticks_process(count, parallel,
+                                            checkpoint_barrier)
+        else:
+            stats = self._run_ticks_thread(count, parallel,
+                                           checkpoint_barrier)
+        wall = time.perf_counter() - started
+        total_ticks = count * self._num_shards
+        return FleetRunReport(
+            num_shards=self._num_shards,
+            ticks_per_shard=count,
+            wall_seconds=wall,
+            ticks_per_second=total_ticks / wall if wall > 0 else 0.0,
+            shard_stats=stats,
+        )
+
+    def _run_ticks_thread(
+        self, count: int, parallel: bool, checkpoint_barrier: bool
+    ) -> List[ServerStats]:
+        def drive_one(shard: MMOShard) -> None:
+            if checkpoint_barrier:
+                for _ in range(count):
+                    shard.run_tick()
+                    shard.wait_checkpoint_idle()
+            else:
+                shard.run_ticks(count)
+
         if parallel and self._num_shards > 1:
             errors: List[Optional[BaseException]] = [None] * self._num_shards
 
             def drive(index: int, shard: MMOShard) -> None:
                 try:
-                    shard.run_ticks(count)
+                    drive_one(shard)
                 except BaseException as error:
                     errors[index] = error
 
@@ -227,43 +559,150 @@ class ShardFleet:
                     raise error
         else:
             for shard in self._shards:
-                shard.run_ticks(count)
-        wall = time.perf_counter() - started
-        total_ticks = count * self._num_shards
-        return FleetRunReport(
-            num_shards=self._num_shards,
-            ticks_per_shard=count,
-            wall_seconds=wall,
-            ticks_per_second=total_ticks / wall if wall > 0 else 0.0,
-            shard_stats=[shard.game.stats for shard in self._shards],
-        )
+                drive_one(shard)
+        return [shard.game.stats for shard in self._shards]
+
+    def _run_ticks_process(
+        self, count: int, parallel: bool, checkpoint_barrier: bool
+    ) -> List[ServerStats]:
+        """Drive every worker; collect per-shard outcomes, then fail."""
+        errors: List[Optional[BaseException]] = [None] * self._num_shards
+        stats: List[Optional[ServerStats]] = [None] * self._num_shards
+
+        def finish(handle: ProcessShardHandle) -> None:
+            message = handle.next_ack()
+            shard_stats, error_text = message[1], message[2]
+            stats[handle.index] = shard_stats
+            if error_text is not None:
+                raise EngineError(
+                    f"shard {handle.index} failed:\n{error_text}"
+                )
+
+        if parallel:
+            pending = []
+            for handle in self._workers:
+                try:
+                    handle.send(("run", count, checkpoint_barrier))
+                    pending.append(handle)
+                except EngineError as error:
+                    errors[handle.index] = error
+            for handle in pending:
+                try:
+                    finish(handle)
+                except EngineError as error:
+                    errors[handle.index] = error
+        else:
+            for handle in self._workers:
+                try:
+                    handle.send(("run", count, checkpoint_barrier))
+                    finish(handle)
+                except EngineError as error:
+                    errors[handle.index] = error
+        for error in errors:
+            if error is not None:
+                raise error
+        return stats
 
     # ------------------------------------------------------------------
     # Failure and shutdown
     # ------------------------------------------------------------------
+
+    def quiesce(self, timeout: float = 60.0) -> None:
+        """Wait until no shard has a checkpoint write queued or in flight.
+
+        Dead workers are skipped (their failure has already been, or will
+        be, surfaced by ``run_ticks``).
+        """
+        if self._backend == "process":
+            pending = []
+            for handle in self._workers:
+                if handle.failed is not None:
+                    continue
+                try:
+                    handle.send(("quiesce",))
+                    pending.append(handle)
+                except EngineError:
+                    pass
+            for handle in pending:
+                try:
+                    handle.next_ack(timeout=timeout)
+                except EngineError:
+                    pass
+            return
+        for shard in self._shards:
+            shard.wait_checkpoint_idle(timeout=timeout)
+
+    def crash_worker(self, index: int, when: str = "kill") -> None:
+        """Test-only fault injection against one shard's worker process.
+
+        * ``"kill"`` -- SIGKILL right now (a crash mid-tick);
+        * ``"now"`` -- the worker ``os._exit``\\ s at its next command poll
+          (between ticks);
+        * ``"at_checkpoint"`` -- the worker dies immediately after handing
+          its next checkpoint to the parent, so the death is detected while
+          the parent's flush is in flight.
+
+        The next :meth:`run_ticks` involving the shard reports it as failed;
+        the other shards keep running, and :meth:`close`/:meth:`crash` still
+        reclaim every shared segment.
+        """
+        if self._backend != "process":
+            raise EngineError("crash_worker needs backend='process'")
+        handle = self._workers[index]
+        if when == "kill":
+            handle.kill()
+        elif when in ("now", "at_checkpoint"):
+            handle.send(("crash", when))
+        else:
+            raise EngineError(f"unknown crash mode {when!r}")
 
     def crash(self) -> None:
         """Fail-stop every shard (writers abandoned, files closed).
 
         Each shard's crash retires its pool handle (or kills its private
         writer) before closing its files, so no worker can touch a closed
-        store; the pool's worker threads are then torn down.
+        store; the pool's worker threads are then torn down.  On the process
+        backend the workers are SIGKILLed -- the real thing, not a
+        simulation -- and every shared segment is unlinked.
         """
         if self._crashed:
             raise EngineError("fleet has crashed; recover it instead")
         self._crashed = True
+        if self._backend == "process":
+            self._teardown_process_backend(kill=True)
+            return
         for shard in self._shards:
             shard.crash()
         if self._pool is not None:
             self._pool.kill()
 
     def close(self) -> None:
-        """Orderly shutdown of every shard, then the shared pool."""
-        if not self._crashed:
-            for shard in self._shards:
-                shard.close()
-            if self._pool is not None:
-                self._pool.close(wait=False)
+        """Orderly shutdown of every shard, then the shared pool.
+
+        Process backend: each live worker is asked to close its shard's
+        files and exit; dead workers are reaped.  All shared-memory
+        segments are unlinked either way -- the leak checks in the tests
+        and CI diff ``/dev/shm`` across this call.
+        """
+        if self._crashed:
+            return
+        if self._backend == "process":
+            for handle in self._workers:
+                if handle.failed is not None or not handle.process.is_alive():
+                    handle.kill()
+                    continue
+                try:
+                    handle.send(("close",))
+                    handle.next_ack(timeout=30.0)
+                except EngineError:
+                    pass
+                handle.process.join(timeout=10.0)
+            self._teardown_process_backend(kill=False)
+            return
+        for shard in self._shards:
+            shard.close()
+        if self._pool is not None:
+            self._pool.close(wait=False)
 
     def __enter__(self) -> "ShardFleet":
         return self

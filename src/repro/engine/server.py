@@ -81,6 +81,8 @@ class DurableGameServer:
         writer_chunk_objects: int = DEFAULT_CHUNK_OBJECTS,
         writer_pool=None,
         writer_name: Optional[str] = None,
+        table: Optional[GameStateTable] = None,
+        writer=None,
     ) -> None:
         if min_checkpoint_interval_ticks < 1:
             raise EngineError(
@@ -93,7 +95,22 @@ class DurableGameServer:
         self._min_checkpoint_interval = min_checkpoint_interval_ticks
         self._last_checkpoint_start_tick = -min_checkpoint_interval_ticks
         geometry = app.geometry
-        self._table = GameStateTable(geometry, dtype=app.dtype)
+        if table is None:
+            table = GameStateTable(geometry, dtype=app.dtype)
+        else:
+            # Caller-provided table (e.g. a SharedGameStateTable living in a
+            # shared-memory arena so another process can read the state).
+            if table.geometry != geometry:
+                raise EngineError(
+                    f"provided table geometry {table.geometry} does not "
+                    f"match the application's {geometry}"
+                )
+            if table.dtype != np.dtype(app.dtype):
+                raise EngineError(
+                    f"provided table dtype {table.dtype} does not match "
+                    f"the application's {np.dtype(app.dtype)}"
+                )
+        self._table = table
         self._rng = np.random.default_rng(seed)
         app.initialize(self._table, self._rng)
 
@@ -114,7 +131,9 @@ class DurableGameServer:
             writer_bytes_per_tick = max(
                 geometry.object_bytes, geometry.checkpoint_bytes // 16
             )
-        self._async_writer = bool(async_writer) or writer_pool is not None
+        self._async_writer = (
+            bool(async_writer) or writer_pool is not None or writer is not None
+        )
         self._executor = RealExecutor(
             self._table,
             self._store,
@@ -124,6 +143,7 @@ class DurableGameServer:
             writer_chunk_objects=writer_chunk_objects,
             writer_pool=writer_pool,
             writer_name=writer_name,
+            writer=writer,
         )
         self._framework = CheckpointFramework(self._policy, self._executor)
         # The logical log shares the checkpoint stores' durability policy so
@@ -292,6 +312,25 @@ class DurableGameServer:
         """Execute ``count`` ticks."""
         for _ in range(count):
             self.run_tick()
+
+    def wait_checkpoint_idle(self, timeout: Optional[float] = 60.0) -> None:
+        """Block until no checkpoint write is queued or in flight.
+
+        The determinism hook behind the fleet's ``checkpoint_barrier`` run
+        mode: with every write finished before the next tick begins, the
+        checkpoint schedule -- and therefore the bytes on disk -- becomes a
+        pure function of the tick number, identical on every backend.
+        """
+        writer = self._executor.writer
+        if writer is not None:
+            if not writer.wait_idle(timeout=timeout):
+                raise EngineError(
+                    f"checkpoint writer still busy after {timeout} s"
+                )
+            self._executor.stable_write_finished()
+        else:
+            while not self._executor.stable_write_finished():
+                self._executor.drain()
 
     # ------------------------------------------------------------------
     # Failure and shutdown

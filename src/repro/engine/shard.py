@@ -103,6 +103,11 @@ class MMOShard:
         for _ in range(count):
             self.run_tick()
 
+    def wait_checkpoint_idle(self, timeout=60.0) -> None:
+        """Block until the game server has no checkpoint write in flight."""
+        self._check_alive()
+        self._game.wait_checkpoint_idle(timeout=timeout)
+
     def trade_item(self, item_id: int, seller_id: int, buyer_id: int,
                    price: int) -> TradeResult:
         """Route an ACID trade through the persistence server."""

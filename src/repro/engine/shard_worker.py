@@ -1,0 +1,518 @@
+"""The process-backend shard worker and its parent-side counterpart.
+
+``ShardFleet(backend="process")`` splits each shard across two processes:
+
+* the **worker process** (:func:`shard_worker_main`) runs the shard's
+  mutator loop -- :class:`~repro.engine.shard.MMOShard` over a
+  :class:`~repro.state.shared.SharedGameStateTable` -- on its own core,
+  free of the parent's GIL;
+* the **parent** keeps the shared
+  :class:`~repro.engine.writer_pool.CheckpointWriterPool` and lands every
+  checkpoint on disk, reading the payload bytes straight out of shared
+  memory (zero-copy: the iovecs handed to ``writev``/``pwritev`` point into
+  the segment the worker staged into).
+
+The cut protocol is *eager staging*.  In the threaded fleet the writer
+gathers cut-consistent payloads lazily while the mutator keeps ticking,
+which needs the stripe-lock protocol.  Across processes, the worker instead
+gathers the whole write set into the shard's shared staging slot
+*synchronously at the cut* -- inside
+:meth:`WorkerCheckpointProxy.submit`, before the next tick can run -- and
+only then notifies the parent.  The staged bytes are by construction the
+cut values (nothing has mutated since the cut), so no cross-process locking
+exists anywhere, and the payloads are byte-identical to what the threaded
+path's snapshot-or-live gather produces for the same cut.  The framework
+never starts a checkpoint while one is in flight, so the staging slot is
+never overwritten before the parent is done with it.
+
+Control flows over a :func:`multiprocessing.Pipe` (commands down, acks up),
+while high-rate progress counters live in a shared int64 control row per
+shard (single writer per field: the worker owns the tick/submit counters,
+the parent owns the committed/bytes counters; aligned int64 stores are
+atomic on every platform the fork backend runs on).  Worker death is
+detected as EOF on the pipe and surfaced as that shard's failure -- never a
+fleet hang.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+import traceback
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.shard import MMOShard
+from repro.engine.writer import CheckpointJob, WriterStats
+from repro.errors import CheckpointWriterError, EngineError
+from repro.state.shared import SharedArena, SharedGameStateTable
+
+#: Exit code a worker dies with on an injected crash (tests assert on it).
+CRASH_EXIT_CODE = 42
+
+# ----------------------------------------------------------------------
+# The shared control row: int64 fields, one row per shard.  Each field has
+# exactly one writing side, so plain aligned stores are race-free.
+# ----------------------------------------------------------------------
+F_TICKS_RUN = 0        # worker: ticks completed
+F_JOB_STATE = 1        # worker sets IN_FLIGHT, parent sets IDLE / ERROR
+F_JOB_EPOCH = 2        # worker: epoch of the in-flight checkpoint
+F_JOB_CUT = 3          # worker: cut tick of the in-flight checkpoint
+F_COMMITTED_EPOCH = 4  # parent: newest durable epoch (0 = none yet)
+F_COMMITTED_CUT = 5    # parent: newest durable cut tick
+F_JOBS_SUBMITTED = 6   # worker
+F_JOBS_COMPLETED = 7   # parent
+F_BYTES_WRITTEN = 8    # parent
+NUM_CONTROL_FIELDS = 9
+
+JOB_IDLE = 0
+JOB_IN_FLIGHT = 1
+JOB_ERROR = 2
+
+#: Arena slot names of one shard's segment.
+TABLE_SLOT = SharedGameStateTable.SLOT
+STAGED_IDS_SLOT = "staged_ids"
+STAGING_SLOT = "staging"
+CONTROL_SLOT = "control"
+
+
+def shard_arena_slots(geometry, dtype) -> list:
+    """Slot layout of one shard's shared segment: live table + staging.
+
+    The staging area is sized for the worst case (a full dump writes every
+    object), so any checkpoint's write set fits without reallocation.
+    """
+    return [
+        SharedGameStateTable.slot_spec(geometry, dtype),
+        (STAGED_IDS_SLOT, (geometry.num_objects,), np.dtype(np.int64)),
+        (
+            STAGING_SLOT,
+            (geometry.num_objects, geometry.cells_per_object),
+            np.dtype(dtype),
+        ),
+    ]
+
+
+def control_arena_slots(num_shards: int) -> list:
+    """Slot layout of the fleet-wide control segment."""
+    return [(CONTROL_SLOT, (num_shards, NUM_CONTROL_FIELDS), np.dtype(np.int64))]
+
+
+# ======================================================================
+# Worker side
+# ======================================================================
+
+
+class WorkerCheckpointProxy:
+    """The worker-side writer: stages payloads, then hands off to the parent.
+
+    Duck-types the mutator surface of
+    :class:`~repro.engine.writer.AsyncCheckpointWriter` (``submit`` /
+    ``check`` / ``idle`` / ``wait_idle`` / ``stats`` / ``last_committed`` /
+    ``close``) so :class:`~repro.engine.executor.RealExecutor` plugs it in
+    unchanged.  ``concurrent_reader = False`` tells the executor that nobody
+    ever reads the table from another thread -- the payload capture happens
+    synchronously inside :meth:`submit` -- so the stripe-lock protocol (and
+    its per-update cost) is skipped entirely.
+    """
+
+    #: No concurrent reads of the table: payloads are captured inside submit.
+    concurrent_reader = False
+
+    def __init__(
+        self,
+        conn,
+        control_row: np.ndarray,
+        staged_ids: np.ndarray,
+        staging: np.ndarray,
+    ) -> None:
+        self._conn = conn
+        self._control = control_row
+        self._staged_ids = staged_ids
+        self._staging = staging
+        #: Armed by the ``("crash", "at_checkpoint")`` test command: the
+        #: worker dies right after handing a checkpoint to the parent, so
+        #: the parent's flush is in flight when the death is detected.
+        self.crash_after_submit = False
+
+    @property
+    def idle(self) -> bool:
+        """True when the parent has no flush of ours queued or in flight."""
+        return int(self._control[F_JOB_STATE]) != JOB_IN_FLIGHT
+
+    def check(self) -> None:
+        """Re-raise a parent-side flush failure on the mutator."""
+        if int(self._control[F_JOB_STATE]) == JOB_ERROR:
+            raise CheckpointWriterError(
+                "checkpoint flush failed in the fleet parent (epoch "
+                f"{int(self._control[F_JOB_EPOCH])}, cut tick "
+                f"{int(self._control[F_JOB_CUT])})"
+            )
+
+    def submit(self, job: CheckpointJob) -> None:
+        """Stage the cut-consistent payloads and notify the parent.
+
+        Runs on the game thread at the checkpoint cut, *before* the next
+        tick -- the staged bytes therefore are the cut values, with no
+        locking against the parent required.
+        """
+        self.check()
+        if not self.idle:
+            raise CheckpointWriterError(
+                "previous checkpoint is still being flushed by the parent"
+            )
+        count = int(job.object_ids.size)
+        self._staged_ids[:count] = job.object_ids
+        job.source.read_payloads_into(
+            job.object_ids, self._staging[:count]
+        )
+        row = self._control
+        row[F_JOB_EPOCH] = int(job.epoch)
+        row[F_JOB_CUT] = int(job.cut_tick)
+        row[F_JOBS_SUBMITTED] += 1
+        row[F_JOB_STATE] = JOB_IN_FLIGHT
+        self._conn.send(
+            (
+                "checkpoint",
+                count,
+                int(job.epoch),
+                int(job.cut_tick),
+                job.backup_index,
+                bool(job.is_full_dump),
+            )
+        )
+        if self.crash_after_submit:
+            os._exit(CRASH_EXIT_CODE)
+
+    def wait_idle(
+        self, timeout: Optional[float] = None, check: bool = True
+    ) -> bool:
+        """Spin-wait until the parent finishes our flush; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.idle:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.0002)
+        if check:
+            self.check()
+        return True
+
+    def stats(self) -> WriterStats:
+        """Lifetime counters, read from the shared control row."""
+        row = self._control
+        return WriterStats(
+            jobs_submitted=int(row[F_JOBS_SUBMITTED]),
+            jobs_completed=int(row[F_JOBS_COMPLETED]),
+            bytes_written=int(row[F_BYTES_WRITTEN]),
+            last_committed=self.last_committed,
+        )
+
+    @property
+    def last_committed(self):
+        """``(epoch, cut_tick)`` of the newest durable checkpoint, or None."""
+        epoch = int(self._control[F_COMMITTED_EPOCH])
+        if epoch == 0:
+            return None
+        return (epoch, int(self._control[F_COMMITTED_CUT]))
+
+    def close(self, timeout: float = 30.0, wait: bool = True) -> None:
+        """Writer-protocol close: optionally let the in-flight flush finish."""
+        if wait:
+            self.wait_idle(timeout=timeout, check=False)
+
+
+def _stats_snapshot(shard: MMOShard):
+    """Picklable copy of the shard's lifetime stats for the ack channel."""
+    import copy
+
+    return copy.deepcopy(shard.game.stats)
+
+
+def shard_worker_main(
+    index: int,
+    app,
+    directory: str,
+    algorithm: str,
+    seed: int,
+    shard_kwargs: dict,
+    table_arena: SharedArena,
+    control_arena: SharedArena,
+    conn,
+) -> None:
+    """Entry point of one shard's worker process (fork start method).
+
+    Protocol (parent -> worker / worker -> parent):
+
+    * ``("run", count, barrier)`` -> ``("done", stats, error_text)`` --
+      run ``count`` ticks; with ``barrier`` each tick waits for its
+      checkpoint (if any) to become durable before the next (the
+      deterministic-schedule mode backing byte-identity tests).
+    * ``("quiesce",)`` -> ``("quiesced", stats)`` -- wait out the in-flight
+      checkpoint.
+    * ``("crash", when)`` -- test-only fault injection, no ack: ``"now"``
+      dies immediately (also honored between ticks mid-run),
+      ``"at_checkpoint"`` dies right after the next checkpoint handoff.
+    * ``("close",)`` -> ``("closed",)`` -- orderly shutdown.
+
+    Any unexpected failure is reported as ``("fatal", traceback)`` before
+    the process exits; the parent turns EOF on this pipe into a per-shard
+    failure.
+    """
+    shard = None
+    try:
+        table = SharedGameStateTable(app.geometry, table_arena, dtype=app.dtype)
+        control = control_arena.array(CONTROL_SLOT)[index]
+        proxy = WorkerCheckpointProxy(
+            conn,
+            control,
+            table_arena.array(STAGED_IDS_SLOT),
+            table_arena.array(STAGING_SLOT),
+        )
+        shard = MMOShard(
+            app,
+            directory,
+            algorithm=algorithm,
+            seed=seed,
+            table=table,
+            writer=proxy,
+            **shard_kwargs,
+        )
+        conn.send(("ready", os.getpid()))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "run":
+                count, barrier = message[1], message[2]
+                error_text = None
+                try:
+                    for _ in range(count):
+                        while conn.poll(0):
+                            _worker_control(conn.recv(), shard, proxy, conn)
+                        shard.run_tick()
+                        control[F_TICKS_RUN] = shard.game.ticks_run
+                        if barrier:
+                            shard.wait_checkpoint_idle()
+                except Exception:
+                    error_text = traceback.format_exc()
+                conn.send(("done", _stats_snapshot(shard), error_text))
+            elif kind == "quiesce":
+                shard.wait_checkpoint_idle()
+                conn.send(("quiesced", _stats_snapshot(shard)))
+            elif kind == "crash":
+                _worker_control(message, shard, proxy, conn)
+            elif kind == "close":
+                shard.close()
+                conn.send(("closed",))
+                return
+            else:
+                raise EngineError(f"unknown worker command {kind!r}")
+    except EOFError:
+        return  # parent died; nothing to report to
+    except BaseException:
+        try:
+            conn.send(("fatal", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+def _worker_control(message, shard, proxy, conn) -> None:
+    """Handle a command that may arrive between ticks mid-run."""
+    kind = message[0]
+    if kind == "crash":
+        when = message[1]
+        if when == "now":
+            os._exit(CRASH_EXIT_CODE)
+        elif when == "at_checkpoint":
+            proxy.crash_after_submit = True
+        else:
+            raise EngineError(f"unknown crash mode {when!r}")
+    elif kind == "close":
+        shard.close()
+        conn.send(("closed",))
+        os._exit(0)
+    else:
+        raise EngineError(f"unexpected mid-run command {message[0]!r}")
+
+
+# ======================================================================
+# Parent side
+# ======================================================================
+
+
+class _StagedSource:
+    """PayloadSource over a shard's shared staging slot (zero-copy).
+
+    ``read_payloads`` hands back memoryviews straight into the shared
+    segment: the pool's gathered ``writev`` iovecs point at the staged
+    bytes, so the only copy on the whole checkpoint path is the worker's
+    single gather at the cut.
+    """
+
+    def __init__(self, ids: np.ndarray, payloads: np.ndarray) -> None:
+        self._ids = ids
+        self._payloads = payloads
+
+    def read_payloads(self, object_ids: np.ndarray):
+        start = int(np.searchsorted(self._ids, object_ids[0]))
+        stop = start + object_ids.size
+        if not np.array_equal(self._ids[start:stop], object_ids):
+            raise EngineError(
+                "staged checkpoint ids do not match the requested chunk"
+            )
+        return self._payloads[start:stop].reshape(-1).view(np.uint8).data
+
+
+class ProcessShardHandle:
+    """The parent's end of one worker: pipe, dispatcher, and flush duty.
+
+    A dispatcher thread owns the receiving end of the pipe.  ``checkpoint``
+    messages are serviced inline -- build a :class:`CheckpointJob` over the
+    staged shared-memory bytes, submit it through this shard's pool handle,
+    wait for durability, publish the committed epoch to the control row --
+    while every other ack is queued for whichever fleet call is waiting on
+    it.  EOF on the pipe (the worker died) is queued as ``("died",)`` so
+    waiters fail fast instead of hanging.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        process,
+        conn,
+        table_arena: SharedArena,
+        control_row: np.ndarray,
+        pool_handle,
+    ) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.table_arena = table_arena
+        self.control = control_row
+        self.pool_handle = pool_handle
+        self.failed: Optional[EngineError] = None
+        self.flush_error: Optional[BaseException] = None
+        self._messages: "queue.Queue" = queue.Queue()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch,
+            name=f"repro-shard-{index:02d}-dispatch",
+            daemon=True,
+        )
+        self._staged_ids = table_arena.array(STAGED_IDS_SLOT)
+        self._staging = table_arena.array(STAGING_SLOT)
+
+    def start_dispatcher(self) -> None:
+        self._dispatcher.start()
+
+    def send(self, message) -> None:
+        """Send a command; a dead worker surfaces as this shard's failure."""
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise self._died(cause=error)
+
+    def next_ack(self, timeout: Optional[float] = None):
+        """Next non-checkpoint message from the worker.
+
+        Raises this shard's failure if the worker died (now or earlier).
+        """
+        if self.failed is not None:
+            raise self.failed
+        try:
+            message = self._messages.get(timeout=timeout)
+        except queue.Empty:
+            raise EngineError(
+                f"shard {self.index} worker did not answer within {timeout} s"
+            ) from None
+        if message[0] == "died":
+            raise self._died()
+        if message[0] == "fatal":
+            self.failed = EngineError(
+                f"shard {self.index} worker failed:\n{message[1]}"
+            )
+            raise self.failed
+        return message
+
+    def _died(self, cause: Optional[BaseException] = None) -> EngineError:
+        self.process.join(timeout=5.0)
+        self.failed = EngineError(
+            f"shard {self.index} worker died "
+            f"(exit code {self.process.exitcode})"
+        )
+        if cause is not None:
+            self.failed.__cause__ = cause
+        return self.failed
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        try:
+            while True:
+                message = self.conn.recv()
+                if message[0] == "checkpoint":
+                    self._flush(message)
+                else:
+                    self._messages.put(message)
+        except (EOFError, OSError):
+            self._messages.put(("died",))
+
+    def _flush(self, message) -> None:
+        """Land one staged checkpoint through the shared pool."""
+        _, count, epoch, cut_tick, backup_index, is_full_dump = message
+        # The ids are copied out (they are tiny); the payloads are not --
+        # the job's source serves memoryviews into the shared staging slot.
+        ids = self._staged_ids[:count].copy()
+        job = CheckpointJob(
+            object_ids=ids,
+            epoch=epoch,
+            cut_tick=cut_tick,
+            source=_StagedSource(ids, self._staging[:count]),
+            backup_index=backup_index,
+            is_full_dump=is_full_dump,
+        )
+        row = self.control
+        try:
+            self.pool_handle.submit(job)
+            if not self.pool_handle.wait_idle(timeout=600.0):
+                raise CheckpointWriterError(
+                    f"shard {self.index} checkpoint flush timed out"
+                )
+        except BaseException as error:
+            self.flush_error = error
+            row[F_JOB_STATE] = JOB_ERROR
+            return
+        committed = self.pool_handle.last_committed
+        if committed is None or committed[0] != epoch:
+            # Abandoned (fleet crash/kill) rather than committed.
+            self.flush_error = CheckpointWriterError(
+                f"shard {self.index} checkpoint epoch {epoch} was abandoned"
+            )
+            row[F_JOB_STATE] = JOB_ERROR
+            return
+        stats = self.pool_handle.stats()
+        row[F_BYTES_WRITTEN] = stats.bytes_written
+        row[F_JOBS_COMPLETED] = stats.jobs_completed
+        row[F_COMMITTED_CUT] = cut_tick
+        row[F_COMMITTED_EPOCH] = epoch
+        # State goes idle last: once the worker observes it, every other
+        # field is already published (plain stores suffice -- each field has
+        # a single writer and the worker only acts on the IDLE transition).
+        row[F_JOB_STATE] = JOB_IDLE
+
+    # ------------------------------------------------------------------
+    # Teardown helpers
+    # ------------------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL the worker (crash semantics)."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10.0)
+
+    def join_dispatcher(self, timeout: float = 10.0) -> None:
+        if self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=timeout)

@@ -20,6 +20,10 @@ class GeometryError(ConfigurationError):
     """A state-geometry parameter (rows, columns, sizes) is invalid."""
 
 
+class StateError(ReproError):
+    """A shared-memory state segment is invalid, missing, or misused."""
+
+
 class TraceError(ReproError):
     """An update trace is malformed or used incorrectly."""
 

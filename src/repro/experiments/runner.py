@@ -24,6 +24,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.cpu import available_cpu_count
 from repro.experiments.common import FULL_SCALE, QUICK_SCALE
 from repro.experiments.registry import (
     EXPERIMENT_IDS,
@@ -131,7 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sections = []
     bench = {
         "scale": scale.name,
-        "jobs": args.jobs if args.jobs is not None else os.cpu_count(),
+        "jobs": args.jobs if args.jobs is not None else available_cpu_count(),
         "cache": {
             "enabled": cache.enabled,
             "directory": str(cache.directory),

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimulationConfig
 from repro.core.registry import ALGORITHM_KEYS
+from repro.cpu import available_cpu_count
 from repro.errors import SimulationError
 from repro.simulation.simulator import CheckpointSimulator, TraceLike
 from repro.simulation.results import SimulationResult
@@ -125,8 +126,11 @@ class SweepEngine:
     Parameters
     ----------
     jobs:
-        Worker processes to fan out over.  ``None`` uses every core;
-        ``1`` runs strictly serially in-process (the debugging path).
+        Worker processes to fan out over.  ``None`` uses every core the
+        scheduler actually grants this process
+        (:func:`repro.cpu.available_cpu_count`, which honors cgroup/affinity
+        pinning); ``1`` runs strictly serially in-process (the debugging
+        path).
     cache:
         The :class:`TraceCache` sharing reductions between runs.  ``None``
         disables persistent caching (library default -- the CLI opts in).
@@ -136,7 +140,7 @@ class SweepEngine:
         self, jobs: Optional[int] = None, cache: Optional[TraceCache] = None
     ) -> None:
         if jobs is None:
-            jobs = os.cpu_count() or 1
+            jobs = available_cpu_count()
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)

@@ -6,6 +6,10 @@ every checkpointing algorithm operates on:
 * :class:`~repro.state.table.GameStateTable` -- a rows x columns table of
   fixed-size cells backed by a contiguous numpy buffer, sliceable into
   512-byte atomic objects.
+* :class:`~repro.state.shared.SharedArena` /
+  :class:`~repro.state.shared.SharedGameStateTable` -- the same table placed
+  in a shared-memory segment so the process-backed fleet's parent can read a
+  worker's live state (and checkpoint staging) without copies.
 * :class:`~repro.state.dirty.PolarityBitmap` -- a per-object bitmap whose
   interpretation can be inverted in O(1), the trick the paper borrows from
   Pu [24] to avoid resetting every bit between checkpoints.
@@ -21,6 +25,12 @@ from repro.state.dirty import (
     PolarityBitmap,
     RegionResidency,
 )
+from repro.state.shared import (
+    SharedArena,
+    SharedGameStateTable,
+    reap_stale_segments,
+    segment_directory,
+)
 from repro.state.table import GameStateTable
 
 __all__ = [
@@ -29,4 +39,8 @@ __all__ = [
     "GameStateTable",
     "PolarityBitmap",
     "RegionResidency",
+    "SharedArena",
+    "SharedGameStateTable",
+    "reap_stale_segments",
+    "segment_directory",
 ]

@@ -30,9 +30,16 @@ class GameStateTable:
         Cell dtype; its item size must equal ``geometry.cell_bytes``.
         Integer-cell workloads use ``uint32``; the Knights and Archers game
         uses ``float32`` (positions, health, ...).
+    buffer:
+        Optional 1-D contiguous array of ``num_objects * cells_per_object``
+        cells to back the table with instead of a freshly allocated one.
+        This is how :class:`~repro.state.shared.SharedGameStateTable` places
+        the live state inside a shared-memory segment so another process can
+        read it without copies; the caller owns the buffer's lifetime.
     """
 
-    def __init__(self, geometry: StateGeometry, dtype=np.uint32) -> None:
+    def __init__(self, geometry: StateGeometry, dtype=np.uint32,
+                 buffer: np.ndarray = None) -> None:
         dtype = np.dtype(dtype)
         if dtype.itemsize != geometry.cell_bytes:
             raise GeometryError(
@@ -42,7 +49,22 @@ class GameStateTable:
         self._geometry = geometry
         self._dtype = dtype
         padded_cells = geometry.num_objects * geometry.cells_per_object
-        self._buffer = np.zeros(padded_cells, dtype=dtype)
+        if buffer is None:
+            buffer = np.zeros(padded_cells, dtype=dtype)
+        else:
+            if buffer.dtype != dtype or buffer.ndim != 1:
+                raise GeometryError(
+                    f"backing buffer must be a 1-D {dtype} array, got "
+                    f"{buffer.ndim}-D {buffer.dtype}"
+                )
+            if buffer.size != padded_cells:
+                raise GeometryError(
+                    f"backing buffer has {buffer.size} cells, geometry "
+                    f"needs {padded_cells}"
+                )
+            if not buffer.flags.c_contiguous:
+                raise GeometryError("backing buffer must be contiguous")
+        self._buffer = buffer
         self._cells = self._buffer[: geometry.num_cells]
         self._table = self._cells.reshape(geometry.rows, geometry.columns)
 
@@ -125,6 +147,16 @@ class GameStateTable:
         Returns an array of shape ``(len(object_ids), cells_per_object)``.
         """
         return self._object_matrix()[object_ids].copy()
+
+    def gather_objects_into(self, object_ids, out: np.ndarray) -> None:
+        """Copy the payload cells for ``object_ids`` into ``out``.
+
+        ``out`` must be a ``(len(object_ids), cells_per_object)`` array of
+        the table dtype.  One fancy-index gather straight into the caller's
+        buffer -- the single-copy variant of :meth:`read_objects` used when
+        the destination (e.g. a shared-memory staging area) already exists.
+        """
+        np.take(self._object_matrix(), object_ids, axis=0, out=out)
 
     def write_objects(self, object_ids, payloads) -> None:
         """Overwrite the payloads of ``object_ids`` (used during recovery)."""
