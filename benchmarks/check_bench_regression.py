@@ -97,10 +97,33 @@ def recovery_scale_metrics(results: dict):
                point.get("speedup"), True)
 
 
+def frontdoor_metrics(results: dict):
+    """Yield gateway serve-path throughput and latency keyed by shape."""
+    frontdoor = results.get("frontdoor", {})
+    for point in frontdoor.get("clients_scaling", []):
+        shape = f"frontdoor {point['num_clients']} client(s)"
+        yield (f"{shape} commands/s", point.get("commands_per_second"), True)
+        yield (f"{shape} p99 command-to-apply latency",
+               point.get("p99_seconds"), False)
+    ab = frontdoor.get("ingestion_ab", {})
+    for transport in ("ring", "pipe"):
+        if transport in ab:
+            yield (f"frontdoor {transport} ingestion commands/s",
+                   ab[transport].get("commands_per_second"), True)
+    if "ring_over_pipe_speedup" in ab:
+        yield ("frontdoor ring-over-pipe speedup",
+               ab.get("ring_over_pipe_speedup"), True)
+    crash = frontdoor.get("crash_serve", {})
+    if "survivor_p99_seconds" in crash:
+        yield ("frontdoor crash-serve survivor p99",
+               crash.get("survivor_p99_seconds"), False)
+
+
 #: Dynamic metric generators: labels are derived from the run's own points,
 #: and only labels present in both runs are compared.
 DYNAMIC_METRICS = [
-    fleet_metrics, backend_scaling_metrics, recovery_scale_metrics
+    fleet_metrics, backend_scaling_metrics, recovery_scale_metrics,
+    frontdoor_metrics,
 ]
 
 

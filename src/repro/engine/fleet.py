@@ -44,9 +44,10 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.plan import DiskLayout
 from repro.core.registry import make_policy
@@ -65,7 +66,11 @@ from repro.engine.shard_worker import (
     shard_worker_main,
 )
 from repro.engine.writer_pool import CheckpointWriterPool
-from repro.errors import EngineError
+from repro.errors import BackpressureError, EngineError
+from repro.state.ring import (
+    DEFAULT_RING_BYTES,
+    SharedCommandRing,
+)
 from repro.state.shared import SharedArena, reap_stale_segments
 from repro.storage.checkpoint_log import CheckpointLogStore
 from repro.storage.double_backup import DoubleBackupStore
@@ -82,6 +87,12 @@ FLEET_BACKENDS = ("thread", "process")
 #: ``parallel`` recovers shards on a thread pool, ``pipelined`` additionally
 #: pipelines restore with replay *inside* each shard.
 FLEET_RECOVERY_MODES = ("serial", "parallel", "pipelined")
+
+#: Command-ingestion transports of the process backend: ``ring`` batches
+#: commands through the shard's shared-memory command ring (one drain per
+#: tick), ``pipe`` sends one pickle per command over the control pipe (the
+#: per-command baseline the front-door benchmark A/Bs against).
+COMMAND_TRANSPORTS = ("ring", "pipe")
 
 
 def shard_directory(root: Union[str, os.PathLike], index: int) -> str:
@@ -129,6 +140,78 @@ class FleetRunReport:
     shard_stats: List[ServerStats]
 
 
+@dataclass(frozen=True)
+class FleetServeReport:
+    """Outcome of one :meth:`ShardFleet.try_run_ticks` call.
+
+    The serving-path variant of :class:`FleetRunReport`: per-shard failures
+    are *returned*, not raised, so a gateway can keep ticking survivors
+    while one shard is down.  ``shard_stats[i]`` is None exactly when
+    ``errors[i]`` is set (or the shard was already dead and skipped).
+    """
+
+    num_shards: int
+    ticks_per_shard: int
+    wall_seconds: float
+    ticks_per_second: float
+    shard_stats: List[Optional[ServerStats]]
+    #: Per-shard failure, or None where the shard completed its ticks.
+    errors: List[Optional[BaseException]]
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard completed its ticks."""
+        return all(error is None for error in self.errors)
+
+    @property
+    def failed_shards(self) -> List[int]:
+        """Indexes of shards that did not complete this call's ticks."""
+        return [i for i, error in enumerate(self.errors) if error is not None]
+
+
+class _ThreadCommandQueue:
+    """Bounded per-shard command queue for the thread backend.
+
+    The thread-backend equivalent of the shared-memory ring: producers
+    (the gateway's tick driver) push under a lock, the shard's mutator
+    thread drains the whole backlog once per tick.  Capacity is accounted
+    in ring bytes (header + payload) so both backends reject at the same
+    fill level.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._capacity = int(capacity_bytes)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._bytes
+
+    def try_push(self, payload: bytes) -> bool:
+        need = SharedCommandRing.record_bytes(payload)
+        with self._lock:
+            if self._bytes + need > self._capacity:
+                return False
+            self._queue.append(payload)
+            self._bytes += need
+            return True
+
+    def drain(self) -> List[bytes]:
+        with self._lock:
+            if not self._queue:
+                return []
+            batch = list(self._queue)
+            self._queue.clear()
+            self._bytes = 0
+            return batch
+
+
 class ShardFleet:
     """Runs N shards of the same game concurrently under one root."""
 
@@ -145,6 +228,7 @@ class ShardFleet:
         pool_admission: str = "staleness",
         pool_coalesce: bool = True,
         backend: str = "thread",
+        command_ring_bytes: int = DEFAULT_RING_BYTES,
         **shard_kwargs,
     ) -> None:
         if num_shards <= 0:
@@ -162,6 +246,12 @@ class ShardFleet:
         self._parent_stores: List[object] = []
         self._control: Optional[SharedArena] = None
         self._arenas: List[SharedArena] = []
+        self._command_ring_bytes = int(command_ring_bytes)
+        self._geometry = None
+        #: Per-shard command ingress: shared rings (process backend) or
+        #: bounded in-process queues (thread backend), created below.
+        self._rings: List[SharedCommandRing] = []
+        self._command_queues: List[_ThreadCommandQueue] = []
         if backend == "process":
             # The parent always flushes through a shared pool; a fleet that
             # did not ask for one gets a small default crew.
@@ -199,14 +289,20 @@ class ShardFleet:
             for index in range(num_shards):
                 if self._pool is not None:
                     shard_kwargs["writer_name"] = f"shard-{index:02d}"
+                app = app_factory(index)
+                if self._geometry is None:
+                    self._geometry = app.geometry
                 self._shards.append(
                     MMOShard(
-                        app_factory(index),
+                        app,
                         shard_directory(self._directory, index),
                         algorithm=algorithm,
                         seed=seed + index,
                         **shard_kwargs,
                     )
+                )
+                self._command_queues.append(
+                    _ThreadCommandQueue(self._command_ring_bytes)
                 )
         except BaseException:
             for shard in self._shards:
@@ -259,10 +355,16 @@ class ShardFleet:
         forked = []  # (index, app, process, parent_conn, arena)
         for index in range(self._num_shards):
             app = app_factory(index)
+            if self._geometry is None:
+                self._geometry = app.geometry
             arena = SharedArena.create(
-                shard_arena_slots(app.geometry, app.dtype)
+                shard_arena_slots(
+                    app.geometry, app.dtype,
+                    ring_bytes=self._command_ring_bytes,
+                )
             )
             self._arenas.append(arena)
+            self._rings.append(SharedCommandRing(arena))
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=shard_worker_main,
@@ -391,6 +493,16 @@ class ShardFleet:
         return self._backend
 
     @property
+    def geometry(self):
+        """World geometry every shard runs (shards are homogeneous)."""
+        return self._geometry
+
+    @property
+    def command_capacity_bytes(self) -> int:
+        """Per-shard command-ingress capacity in ring bytes."""
+        return self._command_ring_bytes
+
+    @property
     def shards(self) -> List[MMOShard]:
         """The live shards, in index order (thread backend only)."""
         if self._backend == "process":
@@ -478,6 +590,127 @@ class ShardFleet:
         return max(self.checkpoint_ages(), default=0)
 
     # ------------------------------------------------------------------
+    # Command ingestion
+    # ------------------------------------------------------------------
+
+    def submit_commands(
+        self,
+        index: int,
+        payloads: Sequence[bytes],
+        transport: Optional[str] = None,
+    ) -> int:
+        """Queue client commands for shard ``index``'s next tick.
+
+        Returns how many commands were accepted (a prefix of ``payloads``;
+        the bounded ingress sheds the rest instead of growing).  On the
+        thread backend the batch lands in the shard's bounded in-process
+        queue, drained on the mutator thread at its next tick boundary.  On
+        the process backend ``transport`` selects the path:
+
+        * ``"ring"`` (default) -- push the batch into the shard's shared
+          command ring; the worker drains it as one batch per tick;
+        * ``"pipe"`` -- one pickled message per command over the control
+          pipe (the per-command baseline; effectively unbounded, so it
+          always accepts the whole batch).
+
+        A dead shard's failure is raised rather than silently buffering
+        commands nobody will ever consume.
+        """
+        if not 0 <= index < self._num_shards:
+            raise EngineError(
+                f"shard index {index} out of range [0, {self._num_shards})"
+            )
+        for payload in payloads:
+            if not isinstance(payload, bytes):
+                raise EngineError(
+                    f"commands are raw bytes, got {type(payload).__name__}"
+                )
+        if self._backend == "thread":
+            if transport not in (None, "ring"):
+                raise EngineError(
+                    f"transport {transport!r} needs backend='process'"
+                )
+            if self._crashed or self._shards[index].crashed:
+                raise EngineError(
+                    f"shard {index} has crashed; recover it instead"
+                )
+            queue = self._command_queues[index]
+            accepted = 0
+            for payload in payloads:
+                if not queue.try_push(payload):
+                    break
+                accepted += 1
+            return accepted
+        transport = transport or "ring"
+        if transport not in COMMAND_TRANSPORTS:
+            raise EngineError(
+                f"transport must be one of {COMMAND_TRANSPORTS}, "
+                f"got {transport!r}"
+            )
+        handle = self._workers[index]
+        if handle.failed is not None:
+            raise handle.failed
+        if transport == "pipe":
+            for payload in payloads:
+                handle.send(("command", payload))
+            return len(payloads)
+        return self._rings[index].push_batch(payloads)
+
+    def submit_command(
+        self, index: int, payload: bytes, transport: Optional[str] = None
+    ) -> None:
+        """Queue one command, raising a typed error instead of shedding.
+
+        Raises :class:`~repro.errors.BackpressureError` when the shard's
+        bounded ingress is full -- the explicit rejection the gateway turns
+        into a client-visible REJECT frame.
+        """
+        if self.submit_commands(index, [payload], transport=transport) != 1:
+            ring_or_queue = (
+                self._rings[index]
+                if self._backend == "process"
+                else self._command_queues[index]
+            )
+            raise BackpressureError(
+                f"shard {index} command ingress is full "
+                f"({ring_or_queue.pending_bytes}/{ring_or_queue.capacity} "
+                "bytes)",
+                queue=f"shard-{index:02d}",
+                depth=ring_or_queue.pending_bytes,
+                capacity=ring_or_queue.capacity,
+            )
+
+    def pending_commands(self, index: int) -> int:
+        """Commands queued for shard ``index`` but not yet drained.
+
+        Process backend: records sitting in the shared ring; thread
+        backend: the bounded queue's depth in bytes is not meaningful
+        here, so the entry count is reported for both.
+        """
+        if not 0 <= index < self._num_shards:
+            raise EngineError(
+                f"shard index {index} out of range [0, {self._num_shards})"
+            )
+        if self._backend == "process":
+            return self._rings[index].pending_records
+        return len(self._command_queues[index]._queue)
+
+    def dead_shards(self) -> List[int]:
+        """Indexes of shards that can no longer serve (worker dead or
+        shard crashed)."""
+        if self._crashed:
+            return list(range(self._num_shards))
+        if self._backend == "process":
+            return [
+                handle.index
+                for handle in self._workers
+                if handle.failed is not None or not handle.process.is_alive()
+            ]
+        return [
+            index for index, shard in enumerate(self._shards) if shard.crashed
+        ]
+
+    # ------------------------------------------------------------------
     # Driving the fleet
     # ------------------------------------------------------------------
 
@@ -503,45 +736,75 @@ class ShardFleet:
         is how the backend-equivalence tests pin the process backend to the
         threaded baseline.
         """
+        outcome = self.try_run_ticks(count, parallel, checkpoint_barrier)
+        for error in outcome.errors:
+            if error is not None:
+                raise error
+        return FleetRunReport(
+            num_shards=outcome.num_shards,
+            ticks_per_shard=outcome.ticks_per_shard,
+            wall_seconds=outcome.wall_seconds,
+            ticks_per_second=outcome.ticks_per_second,
+            shard_stats=list(outcome.shard_stats),
+        )
+
+    def try_run_ticks(
+        self,
+        count: int,
+        parallel: bool = True,
+        checkpoint_barrier: bool = False,
+    ) -> FleetServeReport:
+        """Advance every *live* shard by ``count`` ticks; never raises on a
+        shard failure.
+
+        The serving-path driver: per-shard failures (including shards that
+        were already dead when the call started) come back in
+        ``errors[index]`` while every surviving shard completes its ticks.
+        Each tick first drains the shard's command ingress -- the shared
+        ring (process backend) or the bounded queue (thread backend) -- so
+        commands submitted before a tick are applied by it and durably
+        logged with it.
+        """
         if count < 0:
             raise EngineError(f"count must be non-negative, got {count}")
         started = time.perf_counter()
         if self._backend == "process":
-            stats = self._run_ticks_process(count, parallel,
-                                            checkpoint_barrier)
+            stats, errors = self._run_ticks_process(count, parallel,
+                                                    checkpoint_barrier)
         else:
-            stats = self._run_ticks_thread(count, parallel,
-                                           checkpoint_barrier)
+            stats, errors = self._run_ticks_thread(count, parallel,
+                                                   checkpoint_barrier)
         wall = time.perf_counter() - started
-        total_ticks = count * self._num_shards
-        return FleetRunReport(
+        completed = sum(1 for error in errors if error is None)
+        total_ticks = count * completed
+        return FleetServeReport(
             num_shards=self._num_shards,
             ticks_per_shard=count,
             wall_seconds=wall,
             ticks_per_second=total_ticks / wall if wall > 0 else 0.0,
             shard_stats=stats,
+            errors=errors,
         )
 
-    def _run_ticks_thread(
-        self, count: int, parallel: bool, checkpoint_barrier: bool
-    ) -> List[ServerStats]:
-        def drive_one(shard: MMOShard) -> None:
-            if checkpoint_barrier:
+    def _run_ticks_thread(self, count: int, parallel: bool,
+                          checkpoint_barrier: bool):
+        errors: List[Optional[BaseException]] = [None] * self._num_shards
+        stats: List[Optional[ServerStats]] = [None] * self._num_shards
+
+        def drive(index: int, shard: MMOShard) -> None:
+            queue = self._command_queues[index]
+            try:
                 for _ in range(count):
+                    for payload in queue.drain():
+                        shard.game.submit_command(payload)
                     shard.run_tick()
-                    shard.wait_checkpoint_idle()
-            else:
-                shard.run_ticks(count)
+                    if checkpoint_barrier:
+                        shard.wait_checkpoint_idle()
+                stats[index] = shard.game.stats
+            except BaseException as error:
+                errors[index] = error
 
         if parallel and self._num_shards > 1:
-            errors: List[Optional[BaseException]] = [None] * self._num_shards
-
-            def drive(index: int, shard: MMOShard) -> None:
-                try:
-                    drive_one(shard)
-                except BaseException as error:
-                    errors[index] = error
-
             threads = [
                 threading.Thread(
                     target=drive,
@@ -554,18 +817,14 @@ class ShardFleet:
                 thread.start()
             for thread in threads:
                 thread.join()
-            for error in errors:
-                if error is not None:
-                    raise error
         else:
-            for shard in self._shards:
-                drive_one(shard)
-        return [shard.game.stats for shard in self._shards]
+            for index, shard in enumerate(self._shards):
+                drive(index, shard)
+        return stats, errors
 
-    def _run_ticks_process(
-        self, count: int, parallel: bool, checkpoint_barrier: bool
-    ) -> List[ServerStats]:
-        """Drive every worker; collect per-shard outcomes, then fail."""
+    def _run_ticks_process(self, count: int, parallel: bool,
+                           checkpoint_barrier: bool):
+        """Drive every live worker; collect per-shard outcomes."""
         errors: List[Optional[BaseException]] = [None] * self._num_shards
         stats: List[Optional[ServerStats]] = [None] * self._num_shards
 
@@ -578,14 +837,19 @@ class ShardFleet:
                     f"shard {handle.index} failed:\n{error_text}"
                 )
 
+        def start(handle: ProcessShardHandle) -> bool:
+            if handle.failed is not None:
+                errors[handle.index] = handle.failed
+                return False
+            try:
+                handle.send(("run", count, checkpoint_barrier))
+                return True
+            except EngineError as error:
+                errors[handle.index] = error
+                return False
+
         if parallel:
-            pending = []
-            for handle in self._workers:
-                try:
-                    handle.send(("run", count, checkpoint_barrier))
-                    pending.append(handle)
-                except EngineError as error:
-                    errors[handle.index] = error
+            pending = [h for h in self._workers if start(h)]
             for handle in pending:
                 try:
                     finish(handle)
@@ -593,15 +857,13 @@ class ShardFleet:
                     errors[handle.index] = error
         else:
             for handle in self._workers:
+                if not start(handle):
+                    continue
                 try:
-                    handle.send(("run", count, checkpoint_barrier))
                     finish(handle)
                 except EngineError as error:
                     errors[handle.index] = error
-        for error in errors:
-            if error is not None:
-                raise error
-        return stats
+        return stats, errors
 
     # ------------------------------------------------------------------
     # Failure and shutdown
@@ -640,7 +902,10 @@ class ShardFleet:
           (between ticks);
         * ``"at_checkpoint"`` -- the worker dies immediately after handing
           its next checkpoint to the parent, so the death is detected while
-          the parent's flush is in flight.
+          the parent's flush is in flight;
+        * ``"mid_drain"`` -- the worker dies right after its next nonempty
+          command-ring drain, *before* the tick that would durably log the
+          batch (the torn-batch case the recovery tests exercise).
 
         The next :meth:`run_ticks` involving the shard reports it as failed;
         the other shards keep running, and :meth:`close`/:meth:`crash` still
@@ -651,7 +916,7 @@ class ShardFleet:
         handle = self._workers[index]
         if when == "kill":
             handle.kill()
-        elif when in ("now", "at_checkpoint"):
+        elif when in ("now", "at_checkpoint", "mid_drain"):
             handle.send(("crash", when))
         else:
             raise EngineError(f"unknown crash mode {when!r}")

@@ -93,6 +93,11 @@ class MMOShard:
         """Root directory of the shard's durable state."""
         return self._directory
 
+    @property
+    def crashed(self) -> bool:
+        """True once :meth:`crash` has fail-stopped this shard."""
+        return self._crashed
+
     def run_tick(self) -> int:
         """Advance the world one tick through the game server."""
         self._check_alive()

@@ -48,6 +48,7 @@ import numpy as np
 from repro.engine.shard import MMOShard
 from repro.engine.writer import CheckpointJob, WriterStats
 from repro.errors import CheckpointWriterError, EngineError
+from repro.state.ring import DEFAULT_RING_BYTES, SharedCommandRing, ring_slots
 from repro.state.shared import SharedArena, SharedGameStateTable
 
 #: Exit code a worker dies with on an injected crash (tests assert on it).
@@ -77,13 +78,19 @@ TABLE_SLOT = SharedGameStateTable.SLOT
 STAGED_IDS_SLOT = "staged_ids"
 STAGING_SLOT = "staging"
 CONTROL_SLOT = "control"
+#: Slot-name prefix of the shard's inbound command ring.
+COMMAND_RING_PREFIX = "cmd"
 
 
-def shard_arena_slots(geometry, dtype) -> list:
-    """Slot layout of one shard's shared segment: live table + staging.
+def shard_arena_slots(
+    geometry, dtype, ring_bytes: int = DEFAULT_RING_BYTES
+) -> list:
+    """Slot layout of one shard's shared segment: table, staging, commands.
 
     The staging area is sized for the worst case (a full dump writes every
-    object), so any checkpoint's write set fits without reallocation.
+    object), so any checkpoint's write set fits without reallocation.  The
+    command ring (``ring_bytes``) is the batched ingestion path: the parent
+    pushes client commands, the worker drains one batch per tick.
     """
     return [
         SharedGameStateTable.slot_spec(geometry, dtype),
@@ -93,6 +100,7 @@ def shard_arena_slots(geometry, dtype) -> list:
             (geometry.num_objects, geometry.cells_per_object),
             np.dtype(dtype),
         ),
+        *ring_slots(ring_bytes, prefix=COMMAND_RING_PREFIX),
     ]
 
 
@@ -137,6 +145,11 @@ class WorkerCheckpointProxy:
         #: worker dies right after handing a checkpoint to the parent, so
         #: the parent's flush is in flight when the death is detected.
         self.crash_after_submit = False
+        #: Armed by ``("crash", "mid_drain")``: the worker dies right after
+        #: its next nonempty command-ring drain, before the tick that would
+        #: durably log the batch -- the torn-batch fault the recovery tests
+        #: exercise.
+        self.crash_after_drain = False
 
     @property
     def idle(self) -> bool:
@@ -249,12 +262,21 @@ def shard_worker_main(
     * ``("run", count, barrier)`` -> ``("done", stats, error_text)`` --
       run ``count`` ticks; with ``barrier`` each tick waits for its
       checkpoint (if any) to become durable before the next (the
-      deterministic-schedule mode backing byte-identity tests).
+      deterministic-schedule mode backing byte-identity tests).  Before
+      each tick the worker drains the shard's shared command ring *once*
+      and submits the whole batch to the game server -- the batched
+      ingestion path -- plus any per-command pipe messages that arrived.
+    * ``("command", payload)`` -- one client command over the pipe (the
+      per-command baseline the ring is benchmarked against); queued into
+      the game server for its next tick, no ack.
     * ``("quiesce",)`` -> ``("quiesced", stats)`` -- wait out the in-flight
       checkpoint.
     * ``("crash", when)`` -- test-only fault injection, no ack: ``"now"``
       dies immediately (also honored between ticks mid-run),
-      ``"at_checkpoint"`` dies right after the next checkpoint handoff.
+      ``"at_checkpoint"`` dies right after the next checkpoint handoff,
+      ``"mid_drain"`` dies right after the next nonempty ring drain and
+      *before* the tick that would log it (the torn-batch case: drained
+      commands are lost, recovery replays only the durable log).
     * ``("close",)`` -> ``("closed",)`` -- orderly shutdown.
 
     Any unexpected failure is reported as ``("fatal", traceback)`` before
@@ -271,6 +293,7 @@ def shard_worker_main(
             table_arena.array(STAGED_IDS_SLOT),
             table_arena.array(STAGING_SLOT),
         )
+        ring = SharedCommandRing(table_arena, prefix=COMMAND_RING_PREFIX)
         shard = MMOShard(
             app,
             directory,
@@ -291,6 +314,13 @@ def shard_worker_main(
                     for _ in range(count):
                         while conn.poll(0):
                             _worker_control(conn.recv(), shard, proxy, conn)
+                        # One drain per tick: everything the parent pushed
+                        # before this instant becomes this tick's batch.
+                        batch = ring.drain()
+                        for payload in batch:
+                            shard.game.submit_command(payload)
+                        if batch and proxy.crash_after_drain:
+                            os._exit(CRASH_EXIT_CODE)
                         shard.run_tick()
                         control[F_TICKS_RUN] = shard.game.ticks_run
                         if barrier:
@@ -298,6 +328,8 @@ def shard_worker_main(
                 except Exception:
                     error_text = traceback.format_exc()
                 conn.send(("done", _stats_snapshot(shard), error_text))
+            elif kind == "command":
+                shard.game.submit_command(message[1])
             elif kind == "quiesce":
                 shard.wait_checkpoint_idle()
                 conn.send(("quiesced", _stats_snapshot(shard)))
@@ -321,12 +353,16 @@ def shard_worker_main(
 def _worker_control(message, shard, proxy, conn) -> None:
     """Handle a command that may arrive between ticks mid-run."""
     kind = message[0]
-    if kind == "crash":
+    if kind == "command":
+        shard.game.submit_command(message[1])
+    elif kind == "crash":
         when = message[1]
         if when == "now":
             os._exit(CRASH_EXIT_CODE)
         elif when == "at_checkpoint":
             proxy.crash_after_submit = True
+        elif when == "mid_drain":
+            proxy.crash_after_drain = True
         else:
             raise EngineError(f"unknown crash mode {when!r}")
     elif kind == "close":

@@ -56,6 +56,22 @@ class CheckpointWriterError(EngineError):
     """The asynchronous checkpoint writer thread failed or got stuck."""
 
 
+class BackpressureError(ReproError):
+    """A bounded ingestion queue or ring rejected work because it is full.
+
+    Raised instead of growing without bound: the caller (a gateway, a load
+    generator) is expected to shed or retry the rejected item.  Carries the
+    queue identity and occupancy so rejection handling can be precise.
+    """
+
+    def __init__(self, message: str, *, queue: str = "",
+                 depth: int = 0, capacity: int = 0) -> None:
+        super().__init__(message)
+        self.queue = queue
+        self.depth = depth
+        self.capacity = capacity
+
+
 class ValidationError(ReproError):
     """The real (threaded) validation implementation failed."""
 

@@ -2,9 +2,18 @@
 
 A :class:`BotSwarm` stands in for the paper's "tens of thousands of users":
 every tick each bot may issue a game command (heal, teleport, log in/out)
-through the connection server, and occasionally requests an ACID trade.  All
+through the front end, and occasionally requests an ACID trade.  All
 randomness flows through one seeded generator, so a swarm-driven run is
 reproducible end to end.
+
+The swarm drives the surface both front ends share --
+``connect`` / ``send_command`` / ``run_tick`` / ``geometry`` -- so the same
+swarm runs against a single-shard
+:class:`~repro.frontend.connection.ConnectionServer` or a fleet-wide
+:class:`~repro.frontend.gateway.FrontDoor` unchanged.  Trades ride along
+only where the front end exposes ``request_trade`` (the single-shard
+server); command rejections of any typed flavor (rate limit, pending
+bound, backpressure) count as drops, exactly what a flooded client sees.
 """
 
 from __future__ import annotations
@@ -14,7 +23,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.frontend.connection import ConnectionServer, SessionError
+from repro.errors import BackpressureError
+from repro.frontend.sessions import SessionError
 from repro.persistence.store import TransactionError
 
 
@@ -30,11 +40,11 @@ class BotClient:
 
 
 class BotSwarm:
-    """A fleet of bots driving one connection server."""
+    """A fleet of bots driving one front end (connection server or gateway)."""
 
     def __init__(
         self,
-        connection: ConnectionServer,
+        connection,
         num_bots: int,
         seed: int = 0,
         command_probability: float = 0.3,
@@ -48,18 +58,22 @@ class BotSwarm:
         self._rng = np.random.default_rng(seed)
         self._command_probability = command_probability
         self._trade_probability = trade_probability
+        self._can_trade = (open_accounts
+                           and hasattr(connection, "request_trade")
+                           and hasattr(connection, "shard"))
         self.commands_attempted = 0
         self.commands_dropped = 0
         self.trades_attempted = 0
         self.trades_completed = 0
 
-        geometry = connection.shard.game.table.geometry
+        geometry = connection.geometry
         self.bots: List[BotClient] = []
         for index in range(num_bots):
-            session_id = connection.connect(f"bot-{index}")
+            granted = connection.connect(f"bot-{index}")
+            session_id = getattr(granted, "session_id", granted)
             unit_id = int(self._rng.integers(0, geometry.rows))
             character_id = None
-            if open_accounts:
+            if self._can_trade:
                 persistence = connection.shard.persistence
                 character_id = persistence.create_character(
                     f"bot-{index}", gold=starting_gold
@@ -74,7 +88,7 @@ class BotSwarm:
             )
 
     def _random_command(self, bot: BotClient) -> bytes:
-        geometry = self._connection.shard.game.table.geometry
+        geometry = self._connection.geometry
         roll = self._rng.random()
         if roll < 0.4:
             return f"heal:{bot.unit_id}".encode()
@@ -111,8 +125,8 @@ class BotSwarm:
         except TransactionError:
             pass  # buyer broke; the economy rejected it atomically
 
-    def play_tick(self) -> int:
-        """Let every bot act, then advance the shard one tick."""
+    def play_tick(self):
+        """Let every bot act, then advance the front end one tick."""
         for bot in self.bots:
             if self._rng.random() < self._command_probability:
                 self.commands_attempted += 1
@@ -120,7 +134,7 @@ class BotSwarm:
                     self._connection.send_command(
                         bot.session_id, self._random_command(bot)
                     )
-                except SessionError:
+                except (SessionError, BackpressureError):
                     self.commands_dropped += 1
             if self._rng.random() < self._trade_probability:
                 self._maybe_trade(bot)

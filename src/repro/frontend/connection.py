@@ -3,35 +3,36 @@
 Clients never talk to the game server directly; a connection server
 authenticates them into *sessions* and forwards their commands into the
 shard's durable command path (where they are logged and replayed on
-recovery).  A per-session per-tick command budget models the flood control
-every production MMO frontend applies.
+recovery).  Session bookkeeping and admission control live in the shared
+:class:`~repro.frontend.sessions.SessionRegistry` -- the same machinery the
+fleet-wide :class:`~repro.frontend.gateway.GatewayServer` uses -- so there
+is exactly one command-admission path however a client arrives.  On top of
+the per-tick budget, ``max_pending_commands`` bounds how many commands one
+session may queue ahead of the next tick; both violations raise the typed
+:class:`~repro.frontend.sessions.CommandOverflowError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Optional
 
 from repro.engine.shard import MMOShard
-from repro.errors import ReproError
+from repro.frontend.sessions import (
+    ClientSession,
+    CommandOverflowError,
+    SessionError,
+    SessionRegistry,
+)
 from repro.persistence.server import TradeResult
 
-
-class SessionError(ReproError):
-    """A client session was missing, closed, or over its command budget."""
-
-
-@dataclass
-class ClientSession:
-    """One connected client."""
-
-    session_id: int
-    player_name: str
-    connected_at_tick: int
-    commands_sent: int = 0
-    trades_requested: int = 0
-    #: Commands forwarded during the current tick window (rate limiting).
-    commands_this_tick: int = 0
+__all__ = [
+    "ClientSession",
+    "CommandOverflowError",
+    "ConnectionServer",
+    "ConnectionStats",
+    "SessionError",
+]
 
 
 @dataclass
@@ -49,16 +50,13 @@ class ConnectionServer:
     """Routes clients into one shard (the middle tier of Figure 1)."""
 
     def __init__(self, shard: MMOShard,
-                 commands_per_tick_limit: int = 16) -> None:
-        if commands_per_tick_limit < 1:
-            raise SessionError(
-                f"commands_per_tick_limit must be >= 1, got "
-                f"{commands_per_tick_limit}"
-            )
+                 commands_per_tick_limit: int = 16,
+                 max_pending_commands: Optional[int] = 256) -> None:
         self._shard = shard
-        self._limit = commands_per_tick_limit
-        self._sessions: Dict[int, ClientSession] = {}
-        self._next_session_id = 1
+        self._registry = SessionRegistry(
+            commands_per_tick_limit=commands_per_tick_limit,
+            max_pending_commands=max_pending_commands,
+        )
         self.stats = ConnectionStats()
 
     @property
@@ -69,7 +67,17 @@ class ConnectionServer:
     @property
     def session_count(self) -> int:
         """Number of currently connected clients."""
-        return len(self._sessions)
+        return self._registry.count
+
+    @property
+    def registry(self) -> SessionRegistry:
+        """The underlying session registry (shared admission machinery)."""
+        return self._registry
+
+    @property
+    def geometry(self):
+        """World geometry, for load drivers that target units."""
+        return self._shard.game.table.geometry
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -77,29 +85,16 @@ class ConnectionServer:
 
     def connect(self, player_name: str) -> int:
         """Open a session; returns its id."""
-        if not player_name:
-            raise SessionError("player_name must be non-empty")
-        session_id = self._next_session_id
-        self._next_session_id += 1
-        self._sessions[session_id] = ClientSession(
-            session_id=session_id,
-            player_name=player_name,
-            connected_at_tick=self._shard.game.ticks_run,
+        session = self._registry.connect(
+            player_name, tick=self._shard.game.ticks_run
         )
         self.stats.sessions_opened += 1
-        return session_id
+        return session.session_id
 
     def disconnect(self, session_id: int) -> None:
         """Close a session; its queued commands still execute."""
-        self._require_session(session_id)
-        del self._sessions[session_id]
+        self._registry.disconnect(session_id)
         self.stats.sessions_closed += 1
-
-    def _require_session(self, session_id: int) -> ClientSession:
-        session = self._sessions.get(session_id)
-        if session is None:
-            raise SessionError(f"no such session {session_id}")
-        return session
 
     # ------------------------------------------------------------------
     # Routing
@@ -108,24 +103,22 @@ class ConnectionServer:
     def send_command(self, session_id: int, command: bytes) -> None:
         """Forward one client command into the shard's durable command path.
 
-        Raises :class:`SessionError` when the session's per-tick budget is
-        exhausted (the command is dropped, as a flooding client's would be).
+        Raises :class:`CommandOverflowError` (a :class:`SessionError`) when
+        the session's per-tick budget or pending-command bound is exhausted
+        -- the command is dropped, as a flooding client's would be.
         """
-        session = self._require_session(session_id)
-        if session.commands_this_tick >= self._limit:
+        try:
+            self._registry.admit(session_id)
+        except CommandOverflowError:
             self.stats.commands_rejected += 1
-            raise SessionError(
-                f"session {session_id} exceeded {self._limit} commands/tick"
-            )
+            raise
         self._shard.game.submit_command(command)
-        session.commands_this_tick += 1
-        session.commands_sent += 1
         self.stats.commands_routed += 1
 
     def request_trade(self, session_id: int, item_id: int, seller_id: int,
                       buyer_id: int, price: int) -> TradeResult:
         """Route an ACID trade to the persistence server."""
-        session = self._require_session(session_id)
+        session = self._registry.get(session_id)
         result = self._shard.trade_item(item_id, seller_id, buyer_id, price)
         session.trades_requested += 1
         self.stats.trades_routed += 1
@@ -136,12 +129,17 @@ class ConnectionServer:
     # ------------------------------------------------------------------
 
     def run_tick(self) -> int:
-        """Advance the shard one tick and reset per-tick command budgets."""
+        """Advance the shard one tick and reset per-tick command budgets.
+
+        Every pending command is applied by this tick (the game server
+        drains its whole backlog at the tick boundary), so pending counts
+        drop to zero alongside the per-tick budgets.
+        """
         updates = self._shard.run_tick()
-        for session in self._sessions.values():
-            session.commands_this_tick = 0
+        self._registry.end_tick()
+        self._registry.mark_all_applied()
         return updates
 
     def session(self, session_id: int) -> ClientSession:
         """Look up one session (for tests and tooling)."""
-        return self._require_session(session_id)
+        return self._registry.get(session_id)

@@ -1,0 +1,690 @@
+"""The fleet-wide front door: placement, bounded queues, and the TCP gateway.
+
+The paper's Figure 1 puts a connection-server tier between clients and the
+sharded game servers.  This module is that tier at fleet scale, split into
+two layers so the serving logic is testable without sockets:
+
+* :class:`FrontDoor` -- the synchronous core.  It owns the
+  :class:`~repro.frontend.sessions.SessionRegistry`, a least-loaded
+  :class:`ShardPlacement`, and one bounded :class:`ShardCommandQueue` per
+  shard.  ``submit`` admits a command (rate limit + backpressure, both
+  typed rejections); ``drive_tick`` drains every queue, hands each shard
+  its batch through the fleet's shared-memory command rings, runs one tick
+  on every live shard via
+  :meth:`~repro.engine.fleet.ShardFleet.try_run_ticks`, and returns the
+  per-session outcome events (APPLIED ranges, typed rejections,
+  re-placements).
+* :class:`GatewayServer` -- the asyncio TCP skin.  Client sessions speak
+  the length-prefixed frames of :mod:`repro.frontend.protocol`; a driver
+  thread calls ``drive_tick`` at a fixed cadence and posts the resulting
+  frames back onto the event loop.
+
+Failure semantics: when a shard dies mid-serve, its batch for that tick is
+*lost* (the commands were never durably logged), so every lost command gets
+a ``REJECT(shard down)``; the dead shard's sessions are immediately
+re-placed onto the least-loaded survivors (a fresh ``WELCOME`` tells the
+client), and survivors never miss a tick -- one shard's failure is that
+shard's clients' problem for exactly one round trip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.fleet import FleetServeReport, ShardFleet
+from repro.errors import BackpressureError, EngineError, ReproError
+from repro.frontend import protocol
+from repro.frontend.sessions import (
+    CommandOverflowError,
+    SessionError,
+    SessionRegistry,
+)
+from repro.state.ring import SharedCommandRing
+
+#: Default seconds between gateway ticks (200 Hz serve loop).
+DEFAULT_TICK_INTERVAL = 0.005
+
+
+class GatewayError(ReproError):
+    """The gateway cannot serve (e.g. every shard is down)."""
+
+
+# ----------------------------------------------------------------------
+# Outcome events (what drive_tick tells the transport layer to send)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Applied:
+    """Seqs ``first_seq..last_seq`` of one session applied by ``tick``."""
+
+    session_id: int
+    first_seq: int
+    last_seq: int
+    tick: int
+
+    def encode(self) -> bytes:
+        return protocol.encode_applied(self.first_seq, self.last_seq,
+                                       self.tick)
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """One command (or the session, ``seq=0``) was rejected."""
+
+    session_id: int
+    code: int
+    seq: int
+    message: str = ""
+
+    def encode(self) -> bytes:
+        return protocol.encode_reject(self.code, self.seq, self.message)
+
+
+@dataclass(frozen=True)
+class Placed:
+    """The session is now served by ``shard_index`` (initial or re-placed)."""
+
+    session_id: int
+    shard_index: int
+
+    def encode(self) -> bytes:
+        return protocol.encode_welcome(self.session_id, self.shard_index)
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+
+
+class ShardPlacement:
+    """Least-loaded placement over the live shards of a fleet."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise GatewayError(f"need at least one shard, got {num_shards}")
+        self._loads = [0] * num_shards
+        self._down = set()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._loads)
+
+    @property
+    def live_shards(self) -> List[int]:
+        """Indexes still accepting placements, in index order."""
+        return [i for i in range(len(self._loads)) if i not in self._down]
+
+    def is_live(self, index: int) -> bool:
+        return index not in self._down
+
+    def load(self, index: int) -> int:
+        """Sessions currently placed on shard ``index``."""
+        return self._loads[index]
+
+    def place(self) -> int:
+        """Pick the least-loaded live shard and charge one session to it."""
+        live = self.live_shards
+        if not live:
+            raise GatewayError("every shard is down; nothing can serve")
+        index = min(live, key=lambda i: (self._loads[i], i))
+        self._loads[index] += 1
+        return index
+
+    def release(self, index: int) -> None:
+        """Return one session's slot on shard ``index``."""
+        self._loads[index] = max(0, self._loads[index] - 1)
+
+    def mark_down(self, index: int) -> None:
+        """Stop placing onto shard ``index``; its load resets to zero
+        (the caller re-places every affected session)."""
+        self._down.add(index)
+        self._loads[index] = 0
+
+    def mark_up(self, index: int) -> None:
+        """Let a recovered shard take placements again."""
+        self._down.discard(index)
+
+
+# ----------------------------------------------------------------------
+# Bounded per-shard command queue
+# ----------------------------------------------------------------------
+
+
+class ShardCommandQueue:
+    """Bounded FIFO of ``(session_id, seq, payload)`` awaiting one shard.
+
+    Capacity is accounted in ring bytes (header + payload), the same
+    currency the shard's shared-memory ring uses, so the gateway rejects at
+    the fill level the ring would.  Entries a tick could not hand to the
+    ring (it was momentarily fuller than the queue) are re-queued at the
+    front and go out first next tick -- per-session FIFO order is never
+    broken.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise GatewayError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self._entries: deque = deque()
+        self._bytes = 0
+        self._capacity = int(capacity_bytes)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def try_push(self, session_id: int, seq: int, payload: bytes) -> bool:
+        need = SharedCommandRing.record_bytes(payload)
+        if self._bytes + need > self._capacity:
+            return False
+        self._entries.append((session_id, seq, payload))
+        self._bytes += need
+        return True
+
+    def drain(self) -> List[Tuple[int, int, bytes]]:
+        batch = list(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+        return batch
+
+    def requeue(self, entries: List[Tuple[int, int, bytes]]) -> None:
+        """Put undelivered entries back at the front, oldest first."""
+        self._entries.extendleft(reversed(entries))
+        for _, _, payload in entries:
+            self._bytes += SharedCommandRing.record_bytes(payload)
+
+
+# ----------------------------------------------------------------------
+# The synchronous serving core
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GatewayStats:
+    """Aggregate serving counters."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_replaced: int = 0
+    commands_admitted: int = 0
+    commands_applied: int = 0
+    rejected_rate_limit: int = 0
+    rejected_backpressure: int = 0
+    rejected_shard_down: int = 0
+    ticks_driven: int = 0
+    shards_lost: int = 0
+
+
+@dataclass(frozen=True)
+class TickOutcome:
+    """One ``drive_tick``'s events plus the fleet's serve report."""
+
+    tick: int
+    events: List[object]
+    report: FleetServeReport
+
+    @property
+    def applied(self) -> List[Applied]:
+        return [e for e in self.events if isinstance(e, Applied)]
+
+    @property
+    def rejected(self) -> List[Rejected]:
+        return [e for e in self.events if isinstance(e, Rejected)]
+
+
+class FrontDoor:
+    """Synchronous fleet front door: sessions, placement, bounded ingestion.
+
+    Thread-safe: transport handlers call :meth:`connect` /
+    :meth:`disconnect` / :meth:`submit` from any thread while one driver
+    thread calls :meth:`drive_tick`.  The internal lock covers only the
+    in-memory bookkeeping -- the fleet tick itself (the expensive part)
+    runs unlocked, because only the driver thread ever touches the fleet,
+    preserving the rings' single-producer discipline.
+    """
+
+    def __init__(
+        self,
+        fleet: ShardFleet,
+        commands_per_tick_limit: int = 64,
+        max_pending_commands: Optional[int] = 1024,
+        queue_bytes: Optional[int] = None,
+        transport: Optional[str] = None,
+    ) -> None:
+        self._fleet = fleet
+        self._transport = transport
+        self._registry = SessionRegistry(
+            commands_per_tick_limit=commands_per_tick_limit,
+            max_pending_commands=max_pending_commands,
+        )
+        self._placement = ShardPlacement(fleet.num_shards)
+        capacity = (queue_bytes if queue_bytes is not None
+                    else fleet.command_capacity_bytes)
+        self._queues = [
+            ShardCommandQueue(capacity) for _ in range(fleet.num_shards)
+        ]
+        self._lock = threading.Lock()
+        self._tick = 0
+        self.stats = GatewayStats()
+
+    @property
+    def fleet(self) -> ShardFleet:
+        return self._fleet
+
+    @property
+    def num_shards(self) -> int:
+        return self._placement.num_shards
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return self._registry.count
+
+    @property
+    def live_shards(self) -> List[int]:
+        with self._lock:
+            return self._placement.live_shards
+
+    @property
+    def geometry(self):
+        """World geometry, for load drivers that target units."""
+        return self._fleet.geometry
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self, player_name: str) -> Placed:
+        """Admit a client onto the least-loaded live shard."""
+        with self._lock:
+            shard_index = self._placement.place()
+            session = self._registry.connect(
+                player_name, tick=self._tick, shard_index=shard_index
+            )
+            self.stats.sessions_opened += 1
+            return Placed(session_id=session.session_id,
+                          shard_index=shard_index)
+
+    def disconnect(self, session_id: int) -> None:
+        """Close a session; commands already queued still execute."""
+        with self._lock:
+            session = self._registry.disconnect(session_id)
+            if self._placement.is_live(session.shard_index):
+                self._placement.release(session.shard_index)
+            self.stats.sessions_closed += 1
+
+    def session(self, session_id: int):
+        """Look up one session (tests and tooling)."""
+        with self._lock:
+            return self._registry.get(session_id)
+
+    # ------------------------------------------------------------------
+    # Command admission
+    # ------------------------------------------------------------------
+
+    def submit(self, session_id: int, seq: Optional[int],
+               payload: bytes) -> int:
+        """Queue one command for the session's shard; returns that shard.
+
+        ``seq`` is the client's per-session stamp; pass ``None`` to have
+        the gateway stamp it (in-process callers like
+        :class:`~repro.frontend.clients.BotSwarm` don't track seqs).
+
+        Typed rejections, none of which queue anything:
+
+        * :class:`~repro.frontend.sessions.CommandOverflowError` -- the
+          session is over its per-tick budget or pending bound;
+        * :class:`~repro.errors.BackpressureError` -- the shard's bounded
+          command queue is full;
+        * :class:`GatewayError` -- every shard is down;
+        * :class:`~repro.frontend.sessions.SessionError` -- no such session.
+        """
+        if not isinstance(payload, bytes):
+            raise SessionError(
+                f"commands are raw bytes, got {type(payload).__name__}"
+            )
+        with self._lock:
+            session = self._registry.get(session_id)
+            if not self._placement.is_live(session.shard_index):
+                # The shard died and drive_tick has not re-placed us yet
+                # (or placement failed); try to re-place right now.
+                session.shard_index = self._placement.place()
+                self.stats.sessions_replaced += 1
+            queue = self._queues[session.shard_index]
+            need = SharedCommandRing.record_bytes(payload)
+            if queue.pending_bytes + need > queue.capacity:
+                self.stats.rejected_backpressure += 1
+                raise BackpressureError(
+                    f"shard {session.shard_index} command queue is full "
+                    f"({queue.pending_bytes}/{queue.capacity} bytes)",
+                    queue=f"gateway-shard-{session.shard_index:02d}",
+                    depth=queue.pending_bytes,
+                    capacity=queue.capacity,
+                )
+            try:
+                self._registry.admit(session_id)
+            except CommandOverflowError:
+                self.stats.rejected_rate_limit += 1
+                raise
+            if seq is None:
+                seq = session.next_seq
+                session.next_seq += 1
+            queue.try_push(session_id, seq, payload)
+            self.stats.commands_admitted += 1
+            return session.shard_index
+
+    def send_command(self, session_id: int, command: bytes) -> int:
+        """Single-command send with a server-stamped seq.
+
+        The :class:`~repro.frontend.clients.BotSwarm`-facing surface shared
+        with :class:`~repro.frontend.connection.ConnectionServer`.
+        """
+        return self.submit(session_id, None, command)
+
+    def run_tick(self) -> TickOutcome:
+        """Drive one gateway tick (the in-process load-driver surface)."""
+        return self.drive_tick()
+
+    # ------------------------------------------------------------------
+    # The serve loop body
+    # ------------------------------------------------------------------
+
+    def drive_tick(self) -> TickOutcome:
+        """Deliver every queued batch, tick every live shard, ack results.
+
+        Single-tick pipeline: (1) under the lock, snapshot and clear each
+        shard's queue; (2) unlocked, push each batch into its shard's
+        shared ring (or pipe) and run one fleet tick -- commands a ring
+        could not take this tick are re-queued in order; (3) under the
+        lock, turn per-shard outcomes into events: contiguous APPLIED seq
+        ranges per session for live shards, shard-down rejections and
+        session re-placement for newly dead ones.
+        """
+        with self._lock:
+            batches = [
+                queue.drain() if self._placement.is_live(index) else []
+                for index, queue in enumerate(self._queues)
+            ]
+        delivered: List[List[Tuple[int, int, bytes]]] = []
+        leftover: List[List[Tuple[int, int, bytes]]] = []
+        lost: List[List[Tuple[int, int, bytes]]] = []
+        for index, batch in enumerate(batches):
+            sent, back, dead = [], [], []
+            if batch:
+                try:
+                    accepted = self._fleet.submit_commands(
+                        index,
+                        [payload for _, _, payload in batch],
+                        transport=self._transport,
+                    )
+                    sent, back = batch[:accepted], batch[accepted:]
+                except (EngineError, BackpressureError):
+                    # Worker already dead (or ring unusable): the whole
+                    # batch is lost, never having reached a durable log.
+                    dead = batch
+            delivered.append(sent)
+            leftover.append(back)
+            lost.append(dead)
+
+        report = self._fleet.try_run_ticks(1)
+
+        events: List[object] = []
+        with self._lock:
+            self._tick += 1
+            self.stats.ticks_driven += 1
+            for index in range(self.num_shards):
+                was_live = self._placement.is_live(index)
+                if report.errors[index] is not None or lost[index]:
+                    if was_live:
+                        events.extend(self._shard_down_locked(
+                            index,
+                            delivered[index] + leftover[index] + lost[index],
+                        ))
+                    continue
+                if not was_live:
+                    continue
+                self._queues[index].requeue(leftover[index])
+                events.extend(self._ack_locked(delivered[index]))
+            self._registry.end_tick()
+        return TickOutcome(tick=self._tick, events=events, report=report)
+
+    def _ack_locked(
+        self, entries: List[Tuple[int, int, bytes]]
+    ) -> List[Applied]:
+        """Coalesce one shard's applied entries into per-session seq runs."""
+        events: List[Applied] = []
+        run: Optional[Tuple[int, int, int]] = None  # (session, first, last)
+        for session_id, seq, _ in entries:
+            self.stats.commands_applied += 1
+            try:
+                self._registry.mark_applied(session_id, 1)
+            except SessionError:
+                continue  # disconnected while queued; applied, nobody cares
+            if run is not None and run[0] == session_id and seq == run[2] + 1:
+                run = (run[0], run[1], seq)
+                continue
+            if run is not None:
+                events.append(Applied(run[0], run[1], run[2], self._tick))
+            run = (session_id, seq, seq)
+        if run is not None:
+            events.append(Applied(run[0], run[1], run[2], self._tick))
+        return events
+
+    def _shard_down_locked(
+        self, index: int, lost_entries: List[Tuple[int, int, bytes]]
+    ) -> List[object]:
+        """Mark a shard dead: reject its lost commands, re-place its
+        sessions onto the survivors."""
+        events: List[object] = []
+        self._placement.mark_down(index)
+        self.stats.shards_lost += 1
+        # Commands still queued for the dead shard are equally lost.
+        lost_entries = lost_entries + self._queues[index].drain()
+        for session_id, seq, _ in lost_entries:
+            self.stats.rejected_shard_down += 1
+            events.append(Rejected(
+                session_id=session_id,
+                code=protocol.REJECT_SHARD_DOWN,
+                seq=seq,
+                message=f"shard {index} crashed before applying this",
+            ))
+        for session in list(self._registry.sessions()):
+            if session.shard_index != index:
+                continue
+            session.commands_pending = 0
+            try:
+                session.shard_index = self._placement.place()
+            except GatewayError:
+                continue  # no shard left; submits will keep failing typed
+            self.stats.sessions_replaced += 1
+            events.append(Placed(session_id=session.session_id,
+                                 shard_index=session.shard_index))
+        return events
+
+
+# ----------------------------------------------------------------------
+# The asyncio TCP skin
+# ----------------------------------------------------------------------
+
+
+class GatewayServer:
+    """Asyncio TCP gateway over a :class:`FrontDoor`.
+
+    One task per client connection parses frames and calls into the front
+    door; a dedicated **driver thread** runs ``drive_tick`` every
+    ``tick_interval`` seconds and posts the outcome frames back onto the
+    event loop with ``call_soon_threadsafe`` -- the event loop never blocks
+    on a fleet tick, and the fleet never sees two concurrent drivers.
+    """
+
+    def __init__(
+        self,
+        frontdoor: FrontDoor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval: float = DEFAULT_TICK_INTERVAL,
+    ) -> None:
+        self._frontdoor = frontdoor
+        self._host = host
+        self._port = port
+        self._tick_interval = tick_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._driver: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    @property
+    def frontdoor(self) -> FrontDoor:
+        return self._frontdoor
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound (host, port) once started."""
+        if self._server is None:
+            raise GatewayError("gateway is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "GatewayServer":
+        """Bind the listener and start the tick driver thread."""
+        if self._server is not None:
+            raise GatewayError("gateway already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        self._stop.clear()
+        self._driver = threading.Thread(
+            target=self._drive_loop, name="repro-gateway-driver", daemon=True
+        )
+        self._driver.start()
+        return self
+
+    async def stop(self) -> None:
+        """Stop the driver, close the listener and every client."""
+        self._stop.set()
+        if self._driver is not None:
+            self._driver.join(timeout=30.0)
+            self._driver = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+
+    async def __aenter__(self) -> "GatewayServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Tick driving
+    # ------------------------------------------------------------------
+
+    def _drive_loop(self) -> None:
+        while not self._stop.is_set():
+            started = time.perf_counter()
+            outcome = self._frontdoor.drive_tick()
+            if outcome.events and self._loop is not None:
+                self._loop.call_soon_threadsafe(self._dispatch,
+                                                outcome.events)
+            elapsed = time.perf_counter() - started
+            remaining = self._tick_interval - elapsed
+            if remaining > 0:
+                self._stop.wait(remaining)
+
+    def _dispatch(self, events: List[object]) -> None:
+        """Runs on the event loop: fan outcome frames out to sessions."""
+        for event in events:
+            writer = self._writers.get(event.session_id)
+            if writer is None or writer.is_closing():
+                continue
+            writer.write(event.encode())
+
+    # ------------------------------------------------------------------
+    # Per-connection protocol
+    # ------------------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        session_id: Optional[int] = None
+        try:
+            hello = await protocol.read_frame(reader)
+            if hello is None:
+                return
+            if hello[0] != "hello":
+                writer.write(protocol.encode_reject(
+                    protocol.REJECT_BAD_REQUEST, 0,
+                    f"expected HELLO, got {hello[0]}",
+                ))
+                await writer.drain()
+                return
+            placed = self._frontdoor.connect(hello[1])
+            session_id = placed.session_id
+            self._writers[session_id] = writer
+            writer.write(placed.encode())
+            await writer.drain()
+            while True:
+                message = await protocol.read_frame(reader)
+                if message is None:
+                    return
+                if message[0] != "command":
+                    writer.write(protocol.encode_reject(
+                        protocol.REJECT_BAD_REQUEST, 0,
+                        f"unexpected {message[0]} frame",
+                    ))
+                    continue
+                _, seq, payload = message
+                try:
+                    self._frontdoor.submit(session_id, seq, payload)
+                except CommandOverflowError as error:
+                    writer.write(protocol.encode_reject(
+                        protocol.REJECT_RATE_LIMIT, seq, str(error)
+                    ))
+                except BackpressureError as error:
+                    writer.write(protocol.encode_reject(
+                        protocol.REJECT_BACKPRESSURE, seq, str(error)
+                    ))
+                except GatewayError as error:
+                    writer.write(protocol.encode_reject(
+                        protocol.REJECT_SHARD_DOWN, seq, str(error)
+                    ))
+                await writer.drain()
+        except (protocol.ProtocolError, ConnectionResetError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown while this client was mid-read
+        finally:
+            if session_id is not None:
+                self._writers.pop(session_id, None)
+                try:
+                    self._frontdoor.disconnect(session_id)
+                except SessionError:
+                    pass
+            try:
+                writer.close()
+            except Exception:
+                pass

@@ -10,6 +10,9 @@ every checkpointing algorithm operates on:
   :class:`~repro.state.shared.SharedGameStateTable` -- the same table placed
   in a shared-memory segment so the process-backed fleet's parent can read a
   worker's live state (and checkpoint staging) without copies.
+* :class:`~repro.state.ring.SharedCommandRing` -- a single-producer
+  single-consumer length-prefixed byte ring over arena slots, the batched
+  command transport between the serving gateway and a shard worker.
 * :class:`~repro.state.dirty.PolarityBitmap` -- a per-object bitmap whose
   interpretation can be inverted in O(1), the trick the paper borrows from
   Pu [24] to avoid resetting every bit between checkpoints.
@@ -25,6 +28,7 @@ from repro.state.dirty import (
     PolarityBitmap,
     RegionResidency,
 )
+from repro.state.ring import SharedCommandRing, ring_slots
 from repro.state.shared import (
     SharedArena,
     SharedGameStateTable,
@@ -40,7 +44,9 @@ __all__ = [
     "PolarityBitmap",
     "RegionResidency",
     "SharedArena",
+    "SharedCommandRing",
     "SharedGameStateTable",
     "reap_stale_segments",
+    "ring_slots",
     "segment_directory",
 ]

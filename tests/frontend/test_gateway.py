@@ -1,0 +1,317 @@
+"""Tests for the fleet front door: protocol, placement, serving, crashes.
+
+The sync :class:`FrontDoor` core is exercised without sockets (placement,
+typed rejections, APPLIED coalescing, shard-down re-placement); the asyncio
+:class:`GatewayServer` gets true end-to-end TCP runs, including the
+crash-serve scenario on the process backend.
+"""
+
+import asyncio
+import multiprocessing
+
+import pytest
+
+from repro.config import StateGeometry
+from repro.engine.fleet import ShardFleet
+from repro.errors import BackpressureError
+from repro.frontend import (
+    BotSwarm,
+    FrontDoor,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    SessionError,
+    ShardPlacement,
+)
+from repro.frontend import protocol
+from repro.frontend.gateway import Applied, Placed, Rejected
+from repro.frontend.sessions import CommandOverflowError
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend needs the fork start method",
+)
+
+GEOMETRY = StateGeometry(rows=64, columns=8)
+
+
+@pytest.fixture
+def app_factory(random_walk_app):
+    app_class = type(random_walk_app)
+    return lambda index: app_class(GEOMETRY, updates_per_tick=16)
+
+
+def make_frontdoor(app_factory, directory, num_shards=2, fleet_kwargs=None,
+                   **kwargs):
+    fleet = ShardFleet(
+        app_factory, directory, num_shards, seed=3, **(fleet_kwargs or {})
+    )
+    return FrontDoor(fleet, **kwargs)
+
+
+class TestProtocol:
+    def test_round_trips(self):
+        cases = [
+            (protocol.encode_hello("alice"), ("hello", "alice")),
+            (protocol.encode_welcome(7, 2), ("welcome", 7, 2)),
+            (protocol.encode_command(5, b"heal:1"), ("command", 5, b"heal:1")),
+            (protocol.encode_applied(3, 9, 40), ("applied", 3, 9, 40)),
+            (
+                protocol.encode_reject(protocol.REJECT_SHARD_DOWN, 5, "gone"),
+                ("reject", protocol.REJECT_SHARD_DOWN, 5, "gone"),
+            ),
+        ]
+        for encoded, expected in cases:
+            length = int.from_bytes(
+                encoded[: protocol.FRAME_HEADER_BYTES], "little"
+            )
+            body = encoded[protocol.FRAME_HEADER_BYTES:]
+            assert len(body) == length
+            assert protocol.decode(body) == expected
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(bytes([99]))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(bytes([protocol.T_WELCOME]) + b"short")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_hello("")
+
+    def test_frame_size_cap(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.frame(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+
+class TestPlacement:
+    def test_least_loaded_with_index_tiebreak(self):
+        placement = ShardPlacement(3)
+        assert [placement.place() for _ in range(5)] == [0, 1, 2, 0, 1]
+        placement.release(0)
+        placement.release(0)
+        assert placement.place() == 0
+
+    def test_mark_down_redirects_and_mark_up_restores(self):
+        placement = ShardPlacement(2)
+        placement.mark_down(0)
+        assert placement.live_shards == [1]
+        assert placement.place() == 1
+        placement.mark_up(0)
+        assert placement.place() == 0  # load 0 beats the survivor's 1
+
+    def test_all_down_is_typed(self):
+        placement = ShardPlacement(1)
+        placement.mark_down(0)
+        with pytest.raises(GatewayError):
+            placement.place()
+
+
+class TestFrontDoor:
+    def test_connect_spreads_sessions(self, app_factory, tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path)
+        placed = [fd.connect(f"p{i}") for i in range(4)]
+        assert [p.shard_index for p in placed] == [0, 1, 0, 1]
+        assert fd.session_count == 4
+        fd.disconnect(placed[0].session_id)
+        assert fd.connect("p4").shard_index == 0
+        with pytest.raises(SessionError):
+            fd.submit(placed[0].session_id, 1, b"gone")
+        fd.fleet.close()
+
+    def test_rate_limit_resets_at_tick(self, app_factory, tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path,
+                            commands_per_tick_limit=2)
+        session = fd.connect("limited").session_id
+        fd.submit(session, 1, b"a")
+        fd.submit(session, 2, b"b")
+        with pytest.raises(CommandOverflowError):
+            fd.submit(session, 3, b"c")
+        assert fd.stats.rejected_rate_limit == 1
+        fd.drive_tick()
+        fd.submit(session, 3, b"c")  # fresh budget after the boundary
+        fd.fleet.close()
+
+    def test_queue_backpressure_is_typed(self, app_factory, tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path, queue_bytes=32)
+        session = fd.connect("big").session_id
+        fd.submit(session, 1, b"x" * 20)
+        with pytest.raises(BackpressureError) as excinfo:
+            fd.submit(session, 2, b"y" * 20)
+        assert excinfo.value.capacity == 32
+        assert fd.stats.rejected_backpressure == 1
+        fd.fleet.close()
+
+    def test_applied_acks_coalesce_contiguous_runs(self, app_factory,
+                                                   tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path, num_shards=1)
+        a = fd.connect("a").session_id
+        b = fd.connect("b").session_id
+        for seq in (1, 2, 3):
+            fd.submit(a, seq, b"cmd")
+        fd.submit(b, 1, b"cmd")
+        fd.submit(a, 5, b"cmd")  # gap: seq 4 never sent
+        outcome = fd.drive_tick()
+        assert outcome.report.ok
+        assert outcome.applied == [
+            Applied(a, 1, 3, outcome.tick),
+            Applied(b, 1, 1, outcome.tick),
+            Applied(a, 5, 5, outcome.tick),
+        ]
+        assert fd.stats.commands_applied == 5
+        fd.fleet.close()
+
+    def test_server_stamped_seqs(self, app_factory, tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path, num_shards=1)
+        session = fd.connect("stampme").session_id
+        fd.send_command(session, b"one")
+        fd.send_command(session, b"two")
+        outcome = fd.run_tick()
+        assert outcome.applied == [Applied(session, 1, 2, outcome.tick)]
+        fd.fleet.close()
+
+    def test_shard_down_rejects_then_replaces(self, app_factory, tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path)
+        a = fd.connect("a")  # shard 0
+        b = fd.connect("b")  # shard 1
+        fd.drive_tick()
+        fd.fleet.shards[0].crash()
+        fd.submit(a.session_id, 1, b"doomed")
+        outcome = fd.drive_tick()
+        rejected = outcome.rejected
+        assert rejected == [Rejected(
+            a.session_id, protocol.REJECT_SHARD_DOWN, 1,
+            rejected[0].message,
+        )]
+        placed = [e for e in outcome.events if isinstance(e, Placed)]
+        assert placed == [Placed(a.session_id, 1)]
+        assert fd.session(a.session_id).shard_index == 1
+        assert fd.live_shards == [1]
+        assert fd.stats.shards_lost == 1
+        # The re-placed session serves again; the survivor never stopped.
+        fd.submit(a.session_id, 2, b"back")
+        fd.submit(b.session_id, 1, b"still here")
+        outcome = fd.drive_tick()
+        assert {e.session_id for e in outcome.applied} == {
+            a.session_id, b.session_id,
+        }
+        fd.fleet.close()
+
+    def test_every_shard_down_is_typed(self, app_factory, tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path, num_shards=1)
+        session = fd.connect("lonely").session_id
+        fd.fleet.shards[0].crash()
+        fd.drive_tick()
+        with pytest.raises(GatewayError):
+            fd.submit(session, 1, b"void")
+        fd.fleet.close()
+
+    def test_bot_swarm_drives_the_gateway_surface(self, app_factory,
+                                                  tmp_path):
+        fd = make_frontdoor(app_factory, tmp_path)
+        swarm = BotSwarm(fd, num_bots=6, seed=2, command_probability=0.8)
+        swarm.play_ticks(4)
+        assert swarm.commands_attempted > 0
+        assert (fd.stats.commands_applied
+                == swarm.commands_attempted - swarm.commands_dropped)
+        fd.fleet.close()
+
+
+class TestGatewayTCP:
+    def test_end_to_end_commands_acked(self, app_factory, tmp_path):
+        async def scenario():
+            fd = make_frontdoor(app_factory, tmp_path)
+            async with GatewayServer(fd, tick_interval=0.002) as gateway:
+                host, port = gateway.address
+                alice = await GatewayClient.connect(host, port, "alice")
+                bob = await GatewayClient.connect(host, port, "bob")
+                assert {alice.shard_index, bob.shard_index} == {0, 1}
+                for _ in range(8):
+                    await alice.send_command(b"a")
+                    await bob.send_command(b"b")
+                await alice.settle(timeout=10.0)
+                await bob.settle(timeout=10.0)
+                assert len(alice.latencies) == 8
+                assert len(bob.latencies) == 8
+                assert all(lat > 0 for lat in alice.latencies)
+                await alice.close()
+                await bob.close()
+            assert fd.stats.commands_applied == 16
+            fd.fleet.close()
+
+        asyncio.run(scenario())
+
+    def test_disconnect_frees_the_session(self, app_factory, tmp_path):
+        async def scenario():
+            fd = make_frontdoor(app_factory, tmp_path)
+            async with GatewayServer(fd, tick_interval=0.002) as gateway:
+                host, port = gateway.address
+                client = await GatewayClient.connect(host, port, "brief")
+                await client.close()
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while fd.session_count and (
+                    asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.01)
+                assert fd.session_count == 0
+            fd.fleet.close()
+
+        asyncio.run(scenario())
+
+
+@needs_fork
+class TestGatewayCrashServe:
+    def test_survivors_serve_while_a_shard_dies(self, app_factory,
+                                                tmp_path):
+        async def scenario():
+            fd = make_frontdoor(
+                app_factory, tmp_path,
+                fleet_kwargs={"backend": "process"},
+            )
+            async with GatewayServer(fd, tick_interval=0.002) as gateway:
+                host, port = gateway.address
+                alice = await GatewayClient.connect(host, port, "alice")
+                bob = await GatewayClient.connect(host, port, "bob")
+                for _ in range(5):
+                    await alice.send_command(b"a")
+                    await bob.send_command(b"b")
+                await alice.settle(timeout=10.0)
+                await bob.settle(timeout=10.0)
+
+                victim = alice.shard_index
+                fd.fleet.crash_worker(victim, when="kill")
+                await alice.send_command(b"doomed")
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while not alice.replacements and (
+                    asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.01)
+                # The dead shard's client was re-placed; its in-flight
+                # command was either lost with the shard (a typed REJECT)
+                # or arrived after re-placement and was applied -- the
+                # deterministic reject path is pinned by the sync
+                # shard-down test above.
+                assert alice.replacements >= 1
+                assert alice.shard_index != victim
+                await alice.settle(timeout=10.0)
+                assert (
+                    any(code == protocol.REJECT_SHARD_DOWN
+                        for code, _ in alice.rejects)
+                    or len(alice.latencies) >= 6
+                )
+                # ...the survivor's client never noticed...
+                for _ in range(5):
+                    await bob.send_command(b"b")
+                await bob.settle(timeout=10.0)
+                assert len(bob.latencies) == 10
+                assert not bob.rejects
+                # ...and the re-placed client serves from the survivor.
+                await alice.send_command(b"back")
+                await alice.settle(timeout=10.0)
+                assert len(alice.latencies) >= 6
+                await alice.close()
+                await bob.close()
+            assert fd.stats.shards_lost == 1
+            fd.fleet.close()
+
+        asyncio.run(scenario())
