@@ -645,6 +645,109 @@ def measure_admission_overload(
     }
 
 
+def measure_telemetry(
+    scenario: BattleScenario,
+    root: str,
+    algorithm: str,
+    seed: int,
+    ticks: int,
+    min_interval: int,
+) -> dict:
+    """Registry-vs-stopwatch agreement plus the metrics on/off overhead A/B.
+
+    Two identical single-shard fleet runs, ``metrics=False`` vs
+    ``metrics=True``, each tick stopwatched from outside
+    ``try_run_ticks``.  The A/B bounds what hot-loop metric publication
+    costs (two ``monotonic_ns`` calls plus three int64 slot writes per
+    tick); the agreement check replays the stopwatch samples through an
+    identical fixed-bucket histogram and compares its p99 against the
+    registry's -- same estimator on both sides, so any gap is real timing
+    drift between the worker's view and the caller's, not bucket
+    quantization.
+    """
+    payload = b"heal:1"
+
+    def run_variant(metrics_on: bool):
+        label = "on" if metrics_on else "off"
+        fleet = ShardFleet(
+            lambda index: KnightsArchersGame(scenario),
+            os.path.join(root, f"telemetry-{label}"),
+            num_shards=1,
+            algorithm=algorithm,
+            seed=seed,
+            min_checkpoint_interval_ticks=min_interval,
+            pool_size=1,
+            metrics=metrics_on,
+        )
+        samples = np.zeros(ticks)
+        try:
+            started = time.perf_counter()
+            for index in range(ticks):
+                fleet.submit_commands(0, [payload])
+                tick_started = time.perf_counter()
+                fleet.try_run_ticks(1)
+                samples[index] = time.perf_counter() - tick_started
+            wall = time.perf_counter() - started
+            fleet.quiesce()
+            telemetry = fleet.telemetry()
+        finally:
+            fleet.close()
+        return {
+            "ticks": ticks,
+            "wall_seconds": wall,
+            "ticks_per_second": ticks / wall if wall > 0 else 0.0,
+            "mean_tick_seconds": float(samples.mean()),
+            "p99_tick_seconds": percentile(samples, 99),
+        }, samples, telemetry
+
+    off_point, _off_samples, _ = run_variant(False)
+    on_point, on_samples, telemetry = run_variant(True)
+
+    from repro.obs.metrics import DURATION_BUCKETS_US, Histogram
+
+    stopwatch_hist = Histogram(
+        np.zeros(len(DURATION_BUCKETS_US) + 3, dtype=np.int64),
+        0,
+        DURATION_BUCKETS_US,
+    )
+    for sample in on_samples:
+        stopwatch_hist.observe(sample * 1e6)
+    stopwatch_hist_p99 = stopwatch_hist.percentile(0.99)
+    telemetry_p99 = telemetry.tick_p99_us
+    p99_ratio = (
+        telemetry_p99 / stopwatch_hist_p99 if stopwatch_hist_p99 > 0 else 0.0
+    )
+
+    off_mean = off_point["mean_tick_seconds"]
+    overhead_ratio = (
+        (on_point["mean_tick_seconds"] - off_mean) / off_mean
+        if off_mean > 0 else 0.0
+    )
+    return {
+        "num_shards": 1,
+        "pool_size": 1,
+        "agreement": {
+            "ticks": ticks,
+            "stopwatch_p99_us": float(
+                np.percentile(on_samples, 99) * 1e6
+            ),
+            "stopwatch_hist_p99_us": stopwatch_hist_p99,
+            "telemetry_p99_us": telemetry_p99,
+            "telemetry_p50_us": telemetry.tick_p50_us,
+            "p99_ratio": p99_ratio,
+            "within_10pct": bool(abs(p99_ratio - 1.0) <= 0.10),
+        },
+        "overhead": {
+            "metrics_off": off_point,
+            "metrics_on": on_point,
+            "mean_tick_overhead_ratio": overhead_ratio,
+            "within_3pct": bool(overhead_ratio <= 0.03),
+        },
+        "max_checkpoint_age_ticks": telemetry.max_checkpoint_age_ticks,
+        "ring_high_water_bytes": telemetry.ring_high_water_bytes,
+    }
+
+
 def measure_durability_sweep(
     scenario: BattleScenario,
     root: str,
@@ -1118,6 +1221,26 @@ def main(argv=None) -> int:
               f"(FIFO max-age growth 2x/1x: "
               f"{overload['max_age_growth_2x_over_1x']['fifo']:.2f}x)")
 
+        print("telemetry (registry vs stopwatch, metrics on/off A/B):")
+        telemetry = measure_telemetry(
+            scenario, root, args.algorithm, args.seed, args.ticks,
+            args.min_checkpoint_interval,
+        )
+        results["telemetry"] = telemetry
+        agreement = telemetry["agreement"]
+        overhead = telemetry["overhead"]
+        print(f"  registry p99 {agreement['telemetry_p99_us']:8.0f} us  "
+              f"stopwatch(hist) p99 {agreement['stopwatch_hist_p99_us']:8.0f} "
+              f"us  ratio {agreement['p99_ratio']:.3f}  "
+              f"within 10%: {agreement['within_10pct']}")
+        print(f"  metrics-on mean "
+              f"{overhead['metrics_on']['mean_tick_seconds'] * 1e3:7.3f} ms  "
+              f"metrics-off mean "
+              f"{overhead['metrics_off']['mean_tick_seconds'] * 1e3:7.3f} ms  "
+              f"overhead {overhead['mean_tick_overhead_ratio']:+.1%}  "
+              f"ring hwm {telemetry['ring_high_water_bytes']} B  "
+              f"max ckpt age {telemetry['max_checkpoint_age_ticks']} t")
+
         print("durability sweep (async, whole write path):")
         sweep = measure_durability_sweep(
             scenario, root, args.algorithm, args.seed, args.ticks,
@@ -1172,6 +1295,13 @@ def main(argv=None) -> int:
               "not beat coalescing off at fsync=commit on this host "
               "(mutator-bound; see flush_path for the isolated write path)",
               file=sys.stderr)
+    if not telemetry["agreement"]["within_10pct"]:
+        print("WARNING: registry-scraped tick p99 disagreed with the "
+              "stopwatch-measured p99 by more than 10% on this host",
+              file=sys.stderr)
+    if not telemetry["overhead"]["within_3pct"]:
+        print("WARNING: metrics publication cost more than 3% of mean tick "
+              "latency on this host", file=sys.stderr)
     if not overload["staleness_bounded"]:
         print("ERROR: staleness admission failed to bound the straggler's "
               "checkpoint age", file=sys.stderr)

@@ -51,6 +51,7 @@ from repro.frontend import (  # noqa: E402
     LoadGenerator,
 )
 from repro.frontend import protocol  # noqa: E402
+from repro.obs.dump import fetch_stats  # noqa: E402
 from repro.game.knights_archers import KnightsArchersGame  # noqa: E402
 from repro.game.scenario import BattleScenario  # noqa: E402
 
@@ -179,6 +180,51 @@ def run_ingestion_ab(workdir, seed: int, num_clients: int, duration: float,
         if pipe_rate > 0 else 0.0
     )
     return section
+
+
+def run_telemetry_snapshot(workdir, seed: int, backend: str,
+                           num_clients: int, duration: float) -> dict:
+    """Load-driven STATS round trip: the scrape a dashboard would see.
+
+    Runs the closed-loop load, then fetches the gateway's own telemetry
+    over the STATS frame (the same wire path ``repro.obs.dump`` uses) while
+    the fleet is still live, and reports the headline serving metrics.
+    """
+    directory = os.path.join(workdir, "telemetry")
+    frontdoor = make_frontdoor(directory, seed, backend)
+
+    async def scenario():
+        async with GatewayServer(
+            frontdoor, tick_interval=TICK_INTERVAL
+        ) as gateway:
+            host, port = gateway.address
+            generator = LoadGenerator(
+                host, port, num_clients=num_clients, payload=PAYLOAD,
+                commands_per_burst=COMMANDS_PER_BURST,
+            )
+            report = await generator.run_async(duration)
+            snapshot = await asyncio.to_thread(fetch_stats, host, port)
+            return report, snapshot
+
+    try:
+        report, snapshot = asyncio.run(scenario())
+    finally:
+        frontdoor.fleet.close()
+
+    gateway_section = snapshot.get("gateway") or {}
+    return {
+        "num_clients": num_clients,
+        "commands_per_second": report.commands_per_second,
+        "tick_p50_us": snapshot["tick_p50_us"],
+        "tick_p99_us": snapshot["tick_p99_us"],
+        "max_checkpoint_age_ticks": snapshot["max_checkpoint_age_ticks"],
+        "ring_high_water_bytes": snapshot["ring_high_water_bytes"],
+        "gateway": {
+            key: gateway_section.get(key, 0)
+            for key in ("sessions", "commands_admitted", "commands_applied",
+                        "ticks_driven", "rejected_backpressure")
+        },
+    }
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +435,16 @@ def main(argv=None) -> int:
             section["ingestion_ab"] = {
                 "skipped": "pipe transport needs the process backend (fork)"
             }
+        print("[frontdoor] telemetry: STATS scrape under load")
+        telemetry = run_telemetry_snapshot(
+            workdir, args.seed, backend, max(counts), duration
+        )
+        section["telemetry"] = telemetry
+        print(f"  tick p50 {telemetry['tick_p50_us']:7.0f} us  "
+              f"p99 {telemetry['tick_p99_us']:7.0f} us  "
+              f"max ckpt age {telemetry['max_checkpoint_age_ticks']} t  "
+              f"ring hwm {telemetry['ring_high_water_bytes']} B  "
+              f"applied {telemetry['gateway']['commands_applied']}")
         print("[frontdoor] crash-serve: kill one shard mid-load")
         section["crash_serve"] = run_crash_serve(
             workdir, args.seed, backend, crash_clients,

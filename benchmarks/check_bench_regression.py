@@ -117,13 +117,35 @@ def frontdoor_metrics(results: dict):
     if "survivor_p99_seconds" in crash:
         yield ("frontdoor crash-serve survivor p99",
                crash.get("survivor_p99_seconds"), False)
+    telemetry = frontdoor.get("telemetry", {})
+    if "tick_p99_us" in telemetry:
+        yield ("frontdoor registry-scraped tick p99",
+               telemetry.get("tick_p99_us"), False)
+
+
+def telemetry_metrics(results: dict):
+    """Yield registry-scraped tick latency and metrics-overhead entries."""
+    section = results.get("telemetry", {})
+    agreement = section.get("agreement", {})
+    if "telemetry_p99_us" in agreement:
+        yield ("telemetry registry tick p99",
+               agreement.get("telemetry_p99_us"), False)
+    overhead = section.get("overhead", {})
+    for variant in ("metrics_on", "metrics_off"):
+        point = overhead.get(variant, {})
+        if "p99_tick_seconds" in point:
+            yield (f"telemetry A/B ({variant}) p99 tick latency",
+                   point.get("p99_tick_seconds"), False)
+        if "ticks_per_second" in point:
+            yield (f"telemetry A/B ({variant}) throughput",
+                   point.get("ticks_per_second"), True)
 
 
 #: Dynamic metric generators: labels are derived from the run's own points,
 #: and only labels present in both runs are compared.
 DYNAMIC_METRICS = [
     fleet_metrics, backend_scaling_metrics, recovery_scale_metrics,
-    frontdoor_metrics,
+    frontdoor_metrics, telemetry_metrics,
 ]
 
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Tour of the unified fleet telemetry surface.
+
+Boots a sharded fleet behind the asyncio gateway, drives closed-loop
+clients at it, and watches the whole stack through the observability
+plane only -- every number on screen is scraped over the gateway's STATS
+frame (the same path ``python -m repro.obs.dump`` uses), which in turn
+reads the workers' shared-memory metrics rows without a single lock or
+syscall on the tick path.
+
+While the load runs, a one-line dashboard refreshes in place with the
+fleet-merged tick percentiles, live session count, applied-command total,
+stalest checkpoint age, and command-ring high water.  With ``--trace-out``
+the run also records cross-layer spans (gateway ingest, worker tick loop,
+checkpoint flushes) and writes a Chrome trace_event JSON you can load in
+``ui.perfetto.dev`` or ``chrome://tracing``.
+
+Usage::
+
+    python examples/telemetry_tour.py [--backend auto|thread|process]
+        [--shards N] [--clients N] [--seconds S]
+        [--trace-out trace.json] [--no-dashboard]
+"""
+
+import argparse
+import asyncio
+import multiprocessing
+import os
+import tempfile
+
+from repro.engine.fleet import ShardFleet
+from repro.frontend import FrontDoor, GatewayServer, LoadGenerator
+from repro.game import BattleScenario, KnightsArchersGame
+from repro.obs.dump import fetch_stats, render
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.obs.trace import configure_tracing
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Drive load at a fleet and watch it through the "
+                    "telemetry plane."
+    )
+    parser.add_argument("--backend", choices=("auto", "thread", "process"),
+                        default="auto")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--seconds", type=float, default=5.0)
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="record spans and write Chrome trace JSON here")
+    parser.add_argument("--no-dashboard", action="store_true",
+                        help="skip the live one-line dashboard "
+                             "(for CI / non-tty runs)")
+    return parser.parse_args(argv)
+
+
+def dashboard_line(stats) -> str:
+    gateway = stats.get("gateway") or {}
+    return (
+        f"tick p50={stats['tick_p50_us']:7.0f}us "
+        f"p99={stats['tick_p99_us']:7.0f}us | "
+        f"sessions={gateway.get('sessions', 0):3d} "
+        f"applied={gateway.get('commands_applied', 0):7,d} | "
+        f"ckpt_age={stats['max_checkpoint_age_ticks']:3d}t "
+        f"ring_hwm={stats['ring_high_water_bytes']:,d}B"
+    )
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    backend = args.backend
+    if backend == "auto":
+        backend = (
+            "process"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "thread"
+        )
+    if args.trace_out:
+        configure_tracing(True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-") as directory:
+        fleet = ShardFleet(
+            lambda i: KnightsArchersGame(BattleScenario(num_units=512)),
+            directory, args.shards, backend=backend, seed=11,
+            algorithm="copy-on-update", min_checkpoint_interval_ticks=16,
+        )
+        frontdoor = FrontDoor(fleet)
+        print(f"{args.shards} shards ({backend} backend), {args.clients} "
+              f"closed-loop clients, {args.seconds:.0f}s of load; every "
+              "number below is scraped over the STATS frame")
+
+        async def scenario():
+            async with GatewayServer(
+                frontdoor, tick_interval=0.002
+            ) as gateway:
+                host, port = gateway.address
+
+                async def dashboard():
+                    while True:
+                        await asyncio.sleep(0.25)
+                        stats = await asyncio.to_thread(
+                            fetch_stats, host, port
+                        )
+                        print("\r" + dashboard_line(stats).ljust(78),
+                              end="", flush=True)
+
+                watcher = None
+                if not args.no_dashboard:
+                    watcher = asyncio.ensure_future(dashboard())
+                generator = LoadGenerator(
+                    host, port, num_clients=args.clients, payload=b"heal:2"
+                )
+                report = await generator.run_async(args.seconds)
+                if watcher is not None:
+                    watcher.cancel()
+                    await asyncio.gather(watcher, return_exceptions=True)
+                final = await asyncio.to_thread(fetch_stats, host, port)
+                return report, final
+
+        report, final = asyncio.run(scenario())
+        if not args.no_dashboard:
+            print()
+        print()
+        print(render(final))
+        print(f"\nload: {report.commands_applied:,} commands applied "
+              f"({report.commands_per_second:,.0f}/s), ack p99 "
+              f"{report.p99 * 1e3:.2f} ms")
+
+        if args.trace_out:
+            events = fleet.trace_events()
+            tracer = configure_tracing(False)
+            tracer.drain()
+            parent = os.getpid()
+            names = {parent: "fleet parent + gateway"}
+            for pid in {e["pid"] for e in events} - {parent}:
+                names[pid] = f"shard worker pid={pid}"
+            write_chrome_trace(args.trace_out, events, process_names=names)
+            count = validate_chrome_trace(args.trace_out)
+            print(f"trace: wrote {count} events to {args.trace_out} "
+                  "(load in ui.perfetto.dev)")
+
+        fleet.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

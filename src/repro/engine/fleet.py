@@ -57,9 +57,11 @@ from repro.engine.server import ServerStats
 from repro.engine.shard import GAME_SUBDIRECTORY, MMOShard, ShardRecovery
 from repro.engine.shard_worker import (
     CONTROL_SLOT,
+    F_BYTES_WRITTEN,
     F_COMMITTED_CUT,
     F_COMMITTED_EPOCH,
     F_TICKS_RUN,
+    TRACE_RING_PREFIX,
     ProcessShardHandle,
     control_arena_slots,
     shard_arena_slots,
@@ -67,6 +69,16 @@ from repro.engine.shard_worker import (
 )
 from repro.engine.writer_pool import CheckpointWriterPool
 from repro.errors import BackpressureError, EngineError
+from repro.obs.metrics import MetricsRegistry, RowMetrics
+from repro.obs.telemetry import (
+    SHARD_METRICS_LAYOUT,
+    SHARD_METRICS_SLOT,
+    FleetTelemetry,
+    PoolTelemetry,
+    ShardTelemetry,
+    assemble_fleet_telemetry,
+)
+from repro.obs.trace import drain_ring_events, get_tracer
 from repro.state.ring import (
     DEFAULT_RING_BYTES,
     SharedCommandRing,
@@ -229,6 +241,7 @@ class ShardFleet:
         pool_coalesce: bool = True,
         backend: str = "thread",
         command_ring_bytes: int = DEFAULT_RING_BYTES,
+        metrics: bool = True,
         **shard_kwargs,
     ) -> None:
         if num_shards <= 0:
@@ -252,6 +265,16 @@ class ShardFleet:
         #: bounded in-process queues (thread backend), created below.
         self._rings: List[SharedCommandRing] = []
         self._command_queues: List[_ThreadCommandQueue] = []
+        #: ``metrics=False`` skips all hot-path publication (the overhead
+        #: A/B lever the benchmark pulls); the rows still exist, zeroed.
+        self._metrics_enabled = bool(metrics)
+        #: One metrics row per shard: views into the shared arenas (process
+        #: backend) or rows of a private registry (thread backend).
+        self._shard_metric_rows: List[RowMetrics] = []
+        #: The parent-owned high-water gauges of the shards' command rings.
+        self._ring_hwm_gauges = []
+        #: Per-shard trace rings the workers serialize span events into.
+        self._trace_rings: List[SharedCommandRing] = []
         if backend == "process":
             # The parent always flushes through a shared pool; a fleet that
             # did not ask for one gets a small default crew.
@@ -310,6 +333,16 @@ class ShardFleet:
             if self._pool is not None:
                 self._pool.kill()
             raise
+        # The thread backend mirrors the process backend's shared metrics
+        # layout in a private registry, so telemetry() is backend-uniform.
+        registry = MetricsRegistry(SHARD_METRICS_LAYOUT, rows=num_shards)
+        self._shard_metric_rows = [
+            registry.row(index) for index in range(num_shards)
+        ]
+        self._ring_hwm_gauges = [
+            row.gauge("ring_high_water_bytes")
+            for row in self._shard_metric_rows
+        ]
         self._crashed = False
 
     # ------------------------------------------------------------------
@@ -365,6 +398,14 @@ class ShardFleet:
             )
             self._arenas.append(arena)
             self._rings.append(SharedCommandRing(arena))
+            self._trace_rings.append(
+                SharedCommandRing(arena, prefix=TRACE_RING_PREFIX)
+            )
+            row = MetricsRegistry.from_array(
+                SHARD_METRICS_LAYOUT, arena.array(SHARD_METRICS_SLOT)
+            ).row(0)
+            self._shard_metric_rows.append(row)
+            self._ring_hwm_gauges.append(row.gauge("ring_high_water_bytes"))
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=shard_worker_main,
@@ -378,6 +419,7 @@ class ShardFleet:
                     arena,
                     self._control,
                     child_conn,
+                    self._metrics_enabled,
                 ),
                 name=f"repro-shard-{index:02d}",
                 daemon=True,
@@ -590,6 +632,94 @@ class ShardFleet:
         return max(self.checkpoint_ages(), default=0)
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def telemetry(self, gateway=None) -> FleetTelemetry:
+        """One merged :class:`~repro.obs.telemetry.FleetTelemetry` snapshot.
+
+        Scraping is lock-free and O(shards * buckets): every per-shard
+        number is read straight out of single-writer cells (the shared
+        metrics rows and control rows on the process backend, the private
+        registry and live shard objects on the thread backend), so a scrape
+        never stalls a tick loop.  ``gateway`` is an optional dict of
+        serving counters the front door folds in.
+        """
+        if self._crashed:
+            raise EngineError("fleet has crashed; recover it instead")
+        ages = self.checkpoint_ages()
+        process = self._backend == "process"
+        control = (
+            self._control.array(CONTROL_SLOT) if process else None
+        )
+        shards: List[ShardTelemetry] = []
+        histograms = []
+        for index in range(self._num_shards):
+            row = self._shard_metric_rows[index]
+            hist = row.histogram("tick_us").snapshot()
+            histograms.append(hist)
+            if process:
+                handle = self._workers[index]
+                alive = (
+                    handle.failed is None and handle.process.is_alive()
+                )
+                ticks_run = int(control[index][F_TICKS_RUN])
+                bytes_written = int(control[index][F_BYTES_WRITTEN])
+                ring = self._rings[index]
+                pending, capacity = ring.pending_bytes, ring.capacity
+            else:
+                shard = self._shards[index]
+                alive = not shard.crashed
+                ticks_run = shard.game.ticks_run
+                bytes_written = shard.game.bytes_written
+                queue = self._command_queues[index]
+                pending, capacity = queue.pending_bytes, queue.capacity
+            shards.append(ShardTelemetry(
+                index=index,
+                alive=alive,
+                ticks_run=ticks_run,
+                tick_p50_us=hist.percentile(0.50),
+                tick_p99_us=hist.percentile(0.99),
+                tick_mean_us=hist.mean,
+                commands_drained=row.value("commands_drained"),
+                staging_us=row.value("staging_us"),
+                cut_lag_ticks=row.value("cut_lag_ticks"),
+                checkpoint_age_ticks=ages[index],
+                bytes_written=bytes_written,
+                ring_pending_bytes=pending,
+                ring_capacity_bytes=capacity,
+                ring_high_water_bytes=row.value("ring_high_water_bytes"),
+            ))
+        pool = None
+        if self._pool is not None:
+            pool = PoolTelemetry.from_stats(
+                self._pool.stats(), self._pool.num_workers
+            )
+        return assemble_fleet_telemetry(
+            self._backend, shards, histograms, pool=pool, gateway=gateway
+        )
+
+    def trace_events(self) -> List[dict]:
+        """Drain every buffered span event: the parent tracer's buffer plus
+        each worker's shared trace ring (process backend).  Feed the result
+        to :func:`repro.obs.export.write_chrome_trace`."""
+        events = get_tracer().drain()
+        for ring in self._trace_rings:
+            events.extend(drain_ring_events(ring))
+        return events
+
+    def trace_process_names(self) -> dict:
+        """Pid -> display name for the exported trace's process tracks."""
+        names = {os.getpid(): "fleet parent"}
+        if self._backend == "process":
+            for handle in self._workers:
+                if handle.process.pid is not None:
+                    names[handle.process.pid] = (
+                        f"shard-{handle.index:02d} worker"
+                    )
+        return names
+
+    # ------------------------------------------------------------------
     # Command ingestion
     # ------------------------------------------------------------------
 
@@ -640,6 +770,8 @@ class ShardFleet:
                 if not queue.try_push(payload):
                     break
                 accepted += 1
+            if self._metrics_enabled and accepted:
+                self._ring_hwm_gauges[index].max(queue.pending_bytes)
             return accepted
         transport = transport or "ring"
         if transport not in COMMAND_TRANSPORTS:
@@ -654,7 +786,12 @@ class ShardFleet:
             for payload in payloads:
                 handle.send(("command", payload))
             return len(payloads)
-        return self._rings[index].push_batch(payloads)
+        accepted = self._rings[index].push_batch(payloads)
+        if self._metrics_enabled and accepted:
+            self._ring_hwm_gauges[index].max(
+                self._rings[index].pending_bytes
+            )
+        return accepted
 
     def submit_command(
         self, index: int, payload: bytes, transport: Optional[str] = None
@@ -768,12 +905,13 @@ class ShardFleet:
         if count < 0:
             raise EngineError(f"count must be non-negative, got {count}")
         started = time.perf_counter()
-        if self._backend == "process":
-            stats, errors = self._run_ticks_process(count, parallel,
-                                                    checkpoint_barrier)
-        else:
-            stats, errors = self._run_ticks_thread(count, parallel,
-                                                   checkpoint_barrier)
+        with get_tracer().span("fleet_run_ticks", ticks=count):
+            if self._backend == "process":
+                stats, errors = self._run_ticks_process(count, parallel,
+                                                        checkpoint_barrier)
+            else:
+                stats, errors = self._run_ticks_thread(count, parallel,
+                                                       checkpoint_barrier)
         wall = time.perf_counter() - started
         completed = sum(1 for error in errors if error is None)
         total_ticks = count * completed
@@ -791,13 +929,39 @@ class ShardFleet:
         errors: List[Optional[BaseException]] = [None] * self._num_shards
         stats: List[Optional[ServerStats]] = [None] * self._num_shards
 
+        tracer = get_tracer()
+
         def drive(index: int, shard: MMOShard) -> None:
             queue = self._command_queues[index]
+            if self._metrics_enabled:
+                row = self._shard_metric_rows[index]
+                tick_hist = row.histogram("tick_us")
+                drained_counter = row.counter("commands_drained")
+                lag_gauge = row.gauge("cut_lag_ticks")
+            else:
+                tick_hist = drained_counter = lag_gauge = None
             try:
                 for _ in range(count):
-                    for payload in queue.drain():
-                        shard.game.submit_command(payload)
-                    shard.run_tick()
+                    tick_started = (
+                        time.monotonic_ns() if tick_hist is not None else 0
+                    )
+                    with tracer.span("shard_tick"):
+                        with tracer.span("ring_drain"):
+                            batch = queue.drain()
+                            for payload in batch:
+                                shard.game.submit_command(payload)
+                        shard.run_tick()
+                    if tick_hist is not None:
+                        tick_hist.observe(
+                            (time.monotonic_ns() - tick_started) // 1000
+                        )
+                        if batch:
+                            drained_counter.inc(len(batch))
+                        committed = shard.game.last_committed_checkpoint_tick
+                        baseline = -1 if committed is None else committed
+                        lag_gauge.set(
+                            max(0, shard.game.ticks_run - 1 - baseline)
+                        )
                     if checkpoint_barrier:
                         shard.wait_checkpoint_idle()
                 stats[index] = shard.game.stats

@@ -42,6 +42,8 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.engine.app import TickApplication
+from repro.obs.metrics import global_registry
+from repro.obs.trace import get_tracer
 from repro.errors import (
     ConfigurationError,
     NoConsistentCheckpointError,
@@ -126,9 +128,22 @@ class RecoveryManager:
 
     def recover(self) -> RecoveryReport:
         """Restore the checkpoint and replay the log; returns the live state."""
-        if self._mode == "pipelined":
-            return self._recover_pipelined()
-        return self._recover_serial()
+        with get_tracer().span("recover", mode=self._mode):
+            if self._mode == "pipelined":
+                report = self._recover_pipelined()
+            else:
+                report = self._recover_serial()
+        self._publish(report)
+        return report
+
+    @staticmethod
+    def _publish(report: RecoveryReport) -> None:
+        """Publish the report's outcome to the process-global metrics row."""
+        row = global_registry()
+        row.counter("recoveries_completed").inc()
+        row.counter("recovery_stalls").inc(report.stall_count)
+        row.counter("recovery_bytes_restored").inc(report.bytes_restored)
+        row.counter("recovery_replay_ticks").inc(report.ticks_replayed)
 
     # ------------------------------------------------------------------
     # Serial mode (the paper's dT_restore + dT_replay)
@@ -137,21 +152,24 @@ class RecoveryManager:
     def _recover_serial(self) -> RecoveryReport:
         geometry = self._app.geometry
         table = GameStateTable(geometry, dtype=self._app.dtype)
+        tracer = get_tracer()
         restore_started = time.perf_counter()
-        image, epoch, cut_tick = self._restore_checkpoint(geometry)
-        used_fallback = image is None
+        with tracer.span("restore"):
+            image, epoch, cut_tick = self._restore_checkpoint(geometry)
+            used_fallback = image is None
 
-        rng = np.random.default_rng(self._seed)
-        if used_fallback:
-            # No durable checkpoint: rebuild tick -1 state from the seed.
-            self._app.initialize(table, rng)
-            cut_tick, epoch = -1, 0
-        else:
-            table.load_full_image(image)
+            rng = np.random.default_rng(self._seed)
+            if used_fallback:
+                # No durable checkpoint: rebuild tick -1 state from the seed.
+                self._app.initialize(table, rng)
+                cut_tick, epoch = -1, 0
+            else:
+                table.load_full_image(image)
         restore_seconds = time.perf_counter() - restore_started
 
         replay_started = time.perf_counter()
-        replayed = self._replay(table, rng, start_tick=cut_tick + 1)
+        with tracer.span("replay"):
+            replayed = self._replay(table, rng, start_tick=cut_tick + 1)
         replay_seconds = time.perf_counter() - replay_started
         return RecoveryReport(
             table=table,
@@ -281,6 +299,9 @@ class RecoveryManager:
                     overlap_seconds += time.perf_counter() - tick_started
                 if stalled:
                     stall_count += 1
+                    get_tracer().instant(
+                        "replay_stall", tick=record.tick, needed=needed
+                    )
                 replayed += 1
             # Replay exhausted; finish installing the rest of the image.
             while not sentinel_seen:

@@ -209,6 +209,16 @@ class DurableGameServer:
         except Exception:
             return None
 
+    @property
+    def bytes_written(self) -> int:
+        """Checkpoint bytes written so far, read live from the executor.
+
+        Unlike ``stats.bytes_written`` (refreshed only at tick boundaries)
+        this also counts flushes that completed after the last tick -- the
+        number a telemetry scrape between ticks wants.
+        """
+        return self._executor.bytes_written
+
     # ------------------------------------------------------------------
     # The tick loop
     # ------------------------------------------------------------------

@@ -48,6 +48,13 @@ import numpy as np
 from repro.engine.shard import MMOShard
 from repro.engine.writer import CheckpointJob, WriterStats
 from repro.errors import CheckpointWriterError, EngineError
+from repro.obs.metrics import MetricsRegistry, RowMetrics
+from repro.obs.telemetry import (
+    SHARD_METRICS_LAYOUT,
+    SHARD_METRICS_SLOT,
+    shard_metrics_slot_spec,
+)
+from repro.obs.trace import SharedRingTraceSink, get_tracer
 from repro.state.ring import DEFAULT_RING_BYTES, SharedCommandRing, ring_slots
 from repro.state.shared import SharedArena, SharedGameStateTable
 
@@ -80,17 +87,27 @@ STAGING_SLOT = "staging"
 CONTROL_SLOT = "control"
 #: Slot-name prefix of the shard's inbound command ring.
 COMMAND_RING_PREFIX = "cmd"
+#: Slot-name prefix of the shard's outbound span-event ring.
+TRACE_RING_PREFIX = "trc"
+#: Capacity of the trace ring: a few thousand JSON-encoded spans between
+#: parent drains; overflow drops spans, never stalls the tick loop.
+TRACE_RING_BYTES = 1 << 18
 
 
 def shard_arena_slots(
     geometry, dtype, ring_bytes: int = DEFAULT_RING_BYTES
 ) -> list:
-    """Slot layout of one shard's shared segment: table, staging, commands.
+    """Slot layout of one shard's shared segment: table, staging, commands,
+    metrics, trace.
 
     The staging area is sized for the worst case (a full dump writes every
     object), so any checkpoint's write set fits without reallocation.  The
     command ring (``ring_bytes``) is the batched ingestion path: the parent
-    pushes client commands, the worker drains one batch per tick.
+    pushes client commands, the worker drains one batch per tick.  The
+    metrics row and trace ring are the observability plane: the worker
+    publishes tick timings into the metrics row (the parent scrapes it with
+    zero syscalls) and, when tracing is enabled, serializes span events into
+    the trace ring for the parent to merge.
     """
     return [
         SharedGameStateTable.slot_spec(geometry, dtype),
@@ -100,7 +117,9 @@ def shard_arena_slots(
             (geometry.num_objects, geometry.cells_per_object),
             np.dtype(dtype),
         ),
+        shard_metrics_slot_spec(),
         *ring_slots(ring_bytes, prefix=COMMAND_RING_PREFIX),
+        *ring_slots(TRACE_RING_BYTES, prefix=TRACE_RING_PREFIX),
     ]
 
 
@@ -136,11 +155,18 @@ class WorkerCheckpointProxy:
         control_row: np.ndarray,
         staged_ids: np.ndarray,
         staging: np.ndarray,
+        metrics_row: Optional[RowMetrics] = None,
     ) -> None:
         self._conn = conn
         self._control = control_row
         self._staged_ids = staged_ids
         self._staging = staging
+        self._staging_us = (
+            metrics_row.counter("staging_us")
+            if metrics_row is not None
+            else None
+        )
+        self._tracer = get_tracer()
         #: Armed by the ``("crash", "at_checkpoint")`` test command: the
         #: worker dies right after handing a checkpoint to the parent, so
         #: the parent's flush is in flight when the death is detected.
@@ -178,10 +204,20 @@ class WorkerCheckpointProxy:
                 "previous checkpoint is still being flushed by the parent"
             )
         count = int(job.object_ids.size)
-        self._staged_ids[:count] = job.object_ids
-        job.source.read_payloads_into(
-            job.object_ids, self._staging[:count]
+        staging_started = (
+            time.monotonic_ns() if self._staging_us is not None else 0
         )
+        with self._tracer.span(
+            "ckpt_stage", epoch=int(job.epoch), cut=int(job.cut_tick)
+        ):
+            self._staged_ids[:count] = job.object_ids
+            job.source.read_payloads_into(
+                job.object_ids, self._staging[:count]
+            )
+        if self._staging_us is not None:
+            self._staging_us.inc(
+                (time.monotonic_ns() - staging_started) // 1000
+            )
         row = self._control
         row[F_JOB_EPOCH] = int(job.epoch)
         row[F_JOB_CUT] = int(job.cut_tick)
@@ -254,6 +290,7 @@ def shard_worker_main(
     table_arena: SharedArena,
     control_arena: SharedArena,
     conn,
+    publish_metrics: bool = True,
 ) -> None:
     """Entry point of one shard's worker process (fork start method).
 
@@ -287,11 +324,29 @@ def shard_worker_main(
     try:
         table = SharedGameStateTable(app.geometry, table_arena, dtype=app.dtype)
         control = control_arena.array(CONTROL_SLOT)[index]
+        # This worker is the single writer of the tick-loop fields of its
+        # shared metrics row; the parent scrapes them without a syscall.
+        metrics_row = None
+        if publish_metrics:
+            metrics_row = MetricsRegistry.from_array(
+                SHARD_METRICS_LAYOUT,
+                table_arena.array(SHARD_METRICS_SLOT),
+            ).row(0)
+        # The tracer singleton was inherited through fork: re-stamp the pid
+        # and, when enabled, route spans through the shared trace ring so
+        # the parent can merge them onto the fleet timeline.
+        tracer = get_tracer()
+        tracer.pid = os.getpid()
+        if tracer.enabled:
+            tracer.set_sink(SharedRingTraceSink(
+                SharedCommandRing(table_arena, prefix=TRACE_RING_PREFIX)
+            ))
         proxy = WorkerCheckpointProxy(
             conn,
             control,
             table_arena.array(STAGED_IDS_SLOT),
             table_arena.array(STAGING_SLOT),
+            metrics_row=metrics_row,
         )
         ring = SharedCommandRing(table_arena, prefix=COMMAND_RING_PREFIX)
         shard = MMOShard(
@@ -303,6 +358,12 @@ def shard_worker_main(
             writer=proxy,
             **shard_kwargs,
         )
+        if metrics_row is not None:
+            tick_hist = metrics_row.histogram("tick_us")
+            drained_counter = metrics_row.counter("commands_drained")
+            lag_gauge = metrics_row.gauge("cut_lag_ticks")
+        else:
+            tick_hist = drained_counter = lag_gauge = None
         conn.send(("ready", os.getpid()))
         while True:
             message = conn.recv()
@@ -314,15 +375,40 @@ def shard_worker_main(
                     for _ in range(count):
                         while conn.poll(0):
                             _worker_control(conn.recv(), shard, proxy, conn)
-                        # One drain per tick: everything the parent pushed
-                        # before this instant becomes this tick's batch.
-                        batch = ring.drain()
-                        for payload in batch:
-                            shard.game.submit_command(payload)
-                        if batch and proxy.crash_after_drain:
-                            os._exit(CRASH_EXIT_CODE)
-                        shard.run_tick()
+                        tick_started = (
+                            time.monotonic_ns()
+                            if tick_hist is not None
+                            else 0
+                        )
+                        with tracer.span("shard_tick"):
+                            # One drain per tick: everything the parent
+                            # pushed before this instant becomes this
+                            # tick's batch.
+                            with tracer.span("ring_drain"):
+                                batch = ring.drain()
+                                for payload in batch:
+                                    shard.game.submit_command(payload)
+                            if batch and proxy.crash_after_drain:
+                                os._exit(CRASH_EXIT_CODE)
+                            shard.run_tick()
                         control[F_TICKS_RUN] = shard.game.ticks_run
+                        if tick_hist is not None:
+                            tick_hist.observe(
+                                (time.monotonic_ns() - tick_started) // 1000
+                            )
+                            if batch:
+                                drained_counter.inc(len(batch))
+                            # Ticks run beyond the newest cut handed to
+                            # the checkpoint path (its own F_JOB_CUT field
+                            # -- a self-read, still single-writer).
+                            if int(control[F_JOBS_SUBMITTED]):
+                                lag = (
+                                    shard.game.ticks_run - 1
+                                    - int(control[F_JOB_CUT])
+                                )
+                            else:
+                                lag = shard.game.ticks_run
+                            lag_gauge.set(max(0, lag))
                         if barrier:
                             shard.wait_checkpoint_idle()
                 except Exception:
@@ -512,11 +598,14 @@ class ProcessShardHandle:
         )
         row = self.control
         try:
-            self.pool_handle.submit(job)
-            if not self.pool_handle.wait_idle(timeout=600.0):
-                raise CheckpointWriterError(
-                    f"shard {self.index} checkpoint flush timed out"
-                )
+            with get_tracer().span(
+                "ckpt_flush", shard=self.index, epoch=epoch, cut=cut_tick
+            ):
+                self.pool_handle.submit(job)
+                if not self.pool_handle.wait_idle(timeout=600.0):
+                    raise CheckpointWriterError(
+                        f"shard {self.index} checkpoint flush timed out"
+                    )
         except BaseException as error:
             self.flush_error = error
             row[F_JOB_STATE] = JOB_ERROR

@@ -37,6 +37,11 @@ from typing import List, Optional, Protocol, Tuple, Union
 import numpy as np
 
 from repro.errors import CheckpointWriterError
+from repro.obs.metrics import (
+    DURATION_BUCKETS_US,
+    Histogram,
+    HistogramSnapshot,
+)
 from repro.storage.checkpoint_log import CheckpointLogStore
 from repro.storage.double_backup import DoubleBackupStore
 
@@ -197,12 +202,60 @@ class WriterStats:
     durations: List[float] = field(default_factory=list)
     #: ``(epoch, cut_tick)`` of the newest committed checkpoint.
     last_committed: Optional[Tuple[int, int]] = None
+    #: Fixed-bucket distribution of every duration ever recorded (not just
+    #: the window), in microseconds; filled on snapshots.
+    duration_histogram: Optional[HistogramSnapshot] = field(
+        default=None, compare=False
+    )
+    # Copy-on-write bookkeeping: True while ``durations`` is shared with a
+    # snapshot, so the next record copies before mutating and the scrape
+    # itself is O(1) instead of O(samples).
+    _durations_shared: bool = field(default=False, repr=False, compare=False)
+    _live_histogram: Optional[Histogram] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record_duration(self, elapsed: float) -> None:
         """Append one checkpoint duration, keeping the window bounded."""
+        if self._durations_shared:
+            self.durations = list(self.durations)
+            self._durations_shared = False
         self.durations.append(elapsed)
         if len(self.durations) > DURATION_WINDOW:
             del self.durations[: len(self.durations) - DURATION_WINDOW]
+        if self._live_histogram is None:
+            self._live_histogram = Histogram(
+                np.zeros(len(DURATION_BUCKETS_US) + 3, dtype=np.int64),
+                0,
+                DURATION_BUCKETS_US,
+            )
+        self._live_histogram.observe(elapsed * 1e6)
+
+    def snapshot(self) -> "WriterStats":
+        """Detached copy for scrapers, O(buckets) however many samples.
+
+        The durations list is published *by reference* and both sides flip
+        to copy-on-write: the next :meth:`record_duration` copies before
+        appending, so the snapshot never mutates under its holder and the
+        scrape never pays an O(window) copy.
+        """
+        snap = WriterStats(
+            jobs_submitted=self.jobs_submitted,
+            jobs_completed=self.jobs_completed,
+            jobs_abandoned=self.jobs_abandoned,
+            bytes_written=self.bytes_written,
+            busy_seconds=self.busy_seconds,
+            durations=self.durations,
+            last_committed=self.last_committed,
+            duration_histogram=(
+                self._live_histogram.snapshot()
+                if self._live_histogram is not None
+                else None
+            ),
+        )
+        snap._durations_shared = True
+        self._durations_shared = True
+        return snap
 
 
 class AsyncCheckpointWriter:
@@ -305,17 +358,9 @@ class AsyncCheckpointWriter:
         return finished
 
     def stats(self) -> WriterStats:
-        """Consistent snapshot of the lifetime counters."""
+        """Consistent snapshot of the lifetime counters (O(buckets))."""
         with self._lock:
-            return WriterStats(
-                jobs_submitted=self._stats.jobs_submitted,
-                jobs_completed=self._stats.jobs_completed,
-                jobs_abandoned=self._stats.jobs_abandoned,
-                bytes_written=self._stats.bytes_written,
-                busy_seconds=self._stats.busy_seconds,
-                durations=list(self._stats.durations),
-                last_committed=self._stats.last_committed,
-            )
+            return self._stats.snapshot()
 
     @property
     def last_committed(self) -> Optional[Tuple[int, int]]:

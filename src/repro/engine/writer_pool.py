@@ -82,6 +82,7 @@ from repro.engine.writer import (
     flush_checkpoint_job_vectored,
 )
 from repro.errors import CheckpointWriterError
+from repro.obs.trace import get_tracer
 
 #: Queue service orders: ``staleness`` drains oldest cut tick first (bounds
 #: worst-case checkpoint age under overload), ``fifo`` drains arrival order.
@@ -106,6 +107,8 @@ class PoolStats:
     #: distinct keys, however long the pool lives -- a fixed-size histogram
     #: where PR 4 kept one list entry per batch forever.
     batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Jobs waiting in the admission queue at this snapshot.
+    queue_depth: int = 0
     #: Largest number of jobs ever waiting in the admission queue.
     max_queue_depth: int = 0
     #: Jobs landed as a single gathered write / via the chunked fallback.
@@ -210,17 +213,9 @@ class PoolWriter:
         return max(0, self._newest_cut - committed_cut)
 
     def stats(self) -> WriterStats:
-        """Consistent snapshot of this shard's lifetime counters."""
+        """Consistent snapshot of this shard's counters (O(buckets))."""
         with self._pool._lock:
-            return WriterStats(
-                jobs_submitted=self._stats.jobs_submitted,
-                jobs_completed=self._stats.jobs_completed,
-                jobs_abandoned=self._stats.jobs_abandoned,
-                bytes_written=self._stats.bytes_written,
-                busy_seconds=self._stats.busy_seconds,
-                durations=list(self._stats.durations),
-                last_committed=self._stats.last_committed,
-            )
+            return self._stats.snapshot()
 
     # ------------------------------------------------------------------
     # Mutator-side interface
@@ -377,6 +372,7 @@ class CheckpointWriterPool:
                 batches_flushed=self._stats.batches_flushed,
                 jobs_batched=self._stats.jobs_batched,
                 batch_size_histogram=dict(self._stats.batch_size_histogram),
+                queue_depth=len(self._ready),
                 max_queue_depth=self._stats.max_queue_depth,
                 coalesced_jobs=self._stats.coalesced_jobs,
                 chunked_jobs=self._stats.chunked_jobs,
@@ -457,7 +453,15 @@ class CheckpointWriterPool:
             self._ready.append(handle)
             if len(self._ready) > self._stats.max_queue_depth:
                 self._stats.max_queue_depth = len(self._ready)
+            depth = len(self._ready)
             self._work.notify()
+        get_tracer().instant(
+            "ckpt_admit",
+            shard=handle.name,
+            epoch=job.epoch,
+            cut=job.cut_tick,
+            depth=depth,
+        )
 
     def _abandon_handle(self, handle: PoolWriter) -> None:
         """Drop a queued job, or flag an in-flight one to stop (kill path)."""
@@ -564,13 +568,20 @@ class CheckpointWriterPool:
                 # Killed between queue pop and flush: leave the store alone.
                 completed = False
             else:
-                completed = flush(
-                    handle._store,
-                    job,
-                    self._chunk,
-                    should_abandon=should_abandon,
-                    on_chunk_written=on_chunk_written,
-                )
+                with get_tracer().span(
+                    "pool_flush",
+                    shard=handle.name,
+                    epoch=job.epoch,
+                    cut=job.cut_tick,
+                    vectored=vectored,
+                ):
+                    completed = flush(
+                        handle._store,
+                        job,
+                        self._chunk,
+                        should_abandon=should_abandon,
+                        on_chunk_written=on_chunk_written,
+                    )
             elapsed = time.perf_counter() - started
             with self._lock:
                 if completed:

@@ -33,12 +33,20 @@ import asyncio
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.fleet import FleetServeReport, ShardFleet
 from repro.errors import BackpressureError, EngineError, ReproError
 from repro.frontend import protocol
+from repro.obs.metrics import (
+    MetricSpec,
+    MetricsLayout,
+    MetricsRegistry,
+    RowMetrics,
+)
+from repro.obs.telemetry import FleetTelemetry
+from repro.obs.trace import get_tracer
 from repro.frontend.sessions import (
     CommandOverflowError,
     SessionError,
@@ -213,20 +221,61 @@ class ShardCommandQueue:
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class GatewayStats:
-    """Aggregate serving counters."""
+#: Serving counters, declared once so the stats object and the telemetry
+#: snapshot agree on names.
+GATEWAY_METRIC_SPECS = tuple(
+    MetricSpec(name, "counter")
+    for name in (
+        "sessions_opened",
+        "sessions_closed",
+        "sessions_replaced",
+        "commands_admitted",
+        "commands_applied",
+        "rejected_rate_limit",
+        "rejected_backpressure",
+        "rejected_shard_down",
+        "ticks_driven",
+        "shards_lost",
+    )
+)
 
-    sessions_opened: int = 0
-    sessions_closed: int = 0
-    sessions_replaced: int = 0
-    commands_admitted: int = 0
-    commands_applied: int = 0
-    rejected_rate_limit: int = 0
-    rejected_backpressure: int = 0
-    rejected_shard_down: int = 0
-    ticks_driven: int = 0
-    shards_lost: int = 0
+GATEWAY_METRICS_LAYOUT = MetricsLayout(GATEWAY_METRIC_SPECS)
+
+
+class GatewayStats:
+    """Aggregate serving counters, backed by a metrics registry row.
+
+    Reads (``stats.commands_applied``) and in-place writes
+    (``stats.commands_applied += 1``) keep the plain-attribute surface the
+    rest of the gateway (and its tests) use, but the storage is int64
+    registry slots so :meth:`FrontDoor.telemetry` scrapes the same fields
+    the mutators write -- one source of truth, no copy drift.
+    """
+
+    _FIELDS = frozenset(spec.name for spec in GATEWAY_METRIC_SPECS)
+
+    def __init__(self, row: Optional[RowMetrics] = None) -> None:
+        if row is None:
+            row = MetricsRegistry(GATEWAY_METRICS_LAYOUT, rows=1).row(0)
+        object.__setattr__(self, "_row", row)
+
+    def __getattr__(self, name: str) -> int:
+        if name in self._FIELDS:
+            return self._row.value(name)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: int) -> None:
+        if name not in self._FIELDS:
+            raise AttributeError(f"unknown gateway counter {name!r}")
+        self._row.set_value(name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Detached scalar snapshot of every counter."""
+        return {name: int(v) for name, v in self._row.snapshot().items()}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"GatewayStats({body})"
 
 
 @dataclass(frozen=True)
@@ -414,6 +463,7 @@ class FrontDoor:
         ranges per session for live shards, shard-down rejections and
         session re-placement for newly dead ones.
         """
+        tracer = get_tracer()
         with self._lock:
             batches = [
                 queue.drain() if self._placement.is_live(index) else []
@@ -422,28 +472,29 @@ class FrontDoor:
         delivered: List[List[Tuple[int, int, bytes]]] = []
         leftover: List[List[Tuple[int, int, bytes]]] = []
         lost: List[List[Tuple[int, int, bytes]]] = []
-        for index, batch in enumerate(batches):
-            sent, back, dead = [], [], []
-            if batch:
-                try:
-                    accepted = self._fleet.submit_commands(
-                        index,
-                        [payload for _, _, payload in batch],
-                        transport=self._transport,
-                    )
-                    sent, back = batch[:accepted], batch[accepted:]
-                except (EngineError, BackpressureError):
-                    # Worker already dead (or ring unusable): the whole
-                    # batch is lost, never having reached a durable log.
-                    dead = batch
-            delivered.append(sent)
-            leftover.append(back)
-            lost.append(dead)
+        with tracer.span("gw_ingest"):
+            for index, batch in enumerate(batches):
+                sent, back, dead = [], [], []
+                if batch:
+                    try:
+                        accepted = self._fleet.submit_commands(
+                            index,
+                            [payload for _, _, payload in batch],
+                            transport=self._transport,
+                        )
+                        sent, back = batch[:accepted], batch[accepted:]
+                    except (EngineError, BackpressureError):
+                        # Worker already dead (or ring unusable): the whole
+                        # batch is lost, never having reached a durable log.
+                        dead = batch
+                delivered.append(sent)
+                leftover.append(back)
+                lost.append(dead)
 
         report = self._fleet.try_run_ticks(1)
 
         events: List[object] = []
-        with self._lock:
+        with tracer.span("gw_ack"), self._lock:
             self._tick += 1
             self.stats.ticks_driven += 1
             for index in range(self.num_shards):
@@ -514,6 +565,29 @@ class FrontDoor:
             events.append(Placed(session_id=session.session_id,
                                  shard_index=session.shard_index))
         return events
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def telemetry(self) -> FleetTelemetry:
+        """Merged fleet snapshot with this gateway's serving section.
+
+        Thread-safe against concurrent ``drive_tick`` calls: counters live
+        in single-writer int64 slots, so reads here are always whole values
+        (the *set* may straddle a tick, like any scrape).
+        """
+        with self._lock:
+            gateway = dict(self.stats.as_dict())
+            gateway["sessions"] = self._registry.count
+            gateway["live_shards"] = len(self._placement.live_shards)
+            gateway["queue_pending_bytes"] = sum(
+                q.pending_bytes for q in self._queues
+            )
+            gateway["queue_capacity_bytes"] = sum(
+                q.capacity for q in self._queues
+            )
+        return self._fleet.telemetry(gateway=gateway)
 
 
 # ----------------------------------------------------------------------
@@ -624,6 +698,16 @@ class GatewayServer:
                 continue
             writer.write(event.encode())
 
+    def _stats_reply(self) -> bytes:
+        """Build one STATS_REPLY frame (or a typed rejection on failure)."""
+        try:
+            payload = self._frontdoor.telemetry().to_json()
+        except ReproError as error:
+            return protocol.encode_reject(
+                protocol.REJECT_BAD_REQUEST, 0, str(error)
+            )
+        return protocol.encode_stats_reply(payload)
+
     # ------------------------------------------------------------------
     # Per-connection protocol
     # ------------------------------------------------------------------
@@ -632,9 +716,17 @@ class GatewayServer:
                              writer: asyncio.StreamWriter) -> None:
         session_id: Optional[int] = None
         try:
-            hello = await protocol.read_frame(reader)
-            if hello is None:
-                return
+            # STATS is allowed before HELLO so scrapers (repro.obs.dump)
+            # never have to open a playing session just to look.
+            while True:
+                hello = await protocol.read_frame(reader)
+                if hello is None:
+                    return
+                if hello[0] == "stats":
+                    writer.write(self._stats_reply())
+                    await writer.drain()
+                    continue
+                break
             if hello[0] != "hello":
                 writer.write(protocol.encode_reject(
                     protocol.REJECT_BAD_REQUEST, 0,
@@ -651,6 +743,10 @@ class GatewayServer:
                 message = await protocol.read_frame(reader)
                 if message is None:
                     return
+                if message[0] == "stats":
+                    writer.write(self._stats_reply())
+                    await writer.drain()
+                    continue
                 if message[0] != "command":
                     writer.write(protocol.encode_reject(
                         protocol.REJECT_BAD_REQUEST, 0,

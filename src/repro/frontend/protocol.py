@@ -21,6 +21,10 @@ Frame types
 * ``REJECT`` (server) -- a typed rejection: backpressure (bounded queue
   full), rate limit (per-tick budget), shard down (commands lost to a
   crash; re-send after the new ``WELCOME``), or bad request.
+* ``STATS`` (client) -- ask for the fleet telemetry snapshot; no body.
+  Allowed before HELLO, so monitoring tools need no session.
+* ``STATS_REPLY`` (server) -- the snapshot as a utf-8 JSON body (the
+  :meth:`~repro.obs.telemetry.FleetTelemetry.as_dict` shape).
 
 There is no goodbye frame -- closing the TCP connection closes the
 session, exactly like a real game client dropping.
@@ -50,6 +54,8 @@ T_WELCOME = 2
 T_COMMAND = 3
 T_APPLIED = 4
 T_REJECT = 5
+T_STATS = 6
+T_STATS_REPLY = 7
 
 # REJECT codes (u8).
 REJECT_BACKPRESSURE = 1   # bounded command queue or ring is full
@@ -100,12 +106,23 @@ def encode_reject(code: int, seq: int, message: str = "") -> bytes:
                  + message.encode("utf-8"))
 
 
+def encode_stats() -> bytes:
+    """Client -> server: request the fleet telemetry snapshot."""
+    return frame(bytes([T_STATS]))
+
+
+def encode_stats_reply(payload: str) -> bytes:
+    """Server -> client: the telemetry snapshot as utf-8 JSON."""
+    return frame(bytes([T_STATS_REPLY]) + payload.encode("utf-8"))
+
+
 def decode(body: bytes) -> Tuple:
     """Decode one frame body into a ``(kind, ...)`` tuple.
 
     Returns ``("hello", name)``, ``("welcome", session_id, shard_index)``,
-    ``("command", seq, payload)``, ``("applied", first, last, tick)`` or
-    ``("reject", code, seq, message)``.
+    ``("command", seq, payload)``, ``("applied", first, last, tick)``,
+    ``("reject", code, seq, message)``, ``("stats",)`` or
+    ``("stats_reply", json_text)``.
     """
     if not body:
         raise ProtocolError("empty frame")
@@ -140,6 +157,16 @@ def decode(body: bytes) -> Tuple:
         except UnicodeDecodeError as error:
             raise ProtocolError(f"bad REJECT message: {error}") from None
         return ("reject", code, seq, message)
+    if kind == T_STATS:
+        if len(body) != 1:
+            raise ProtocolError(f"bad STATS length {len(body)}")
+        return ("stats",)
+    if kind == T_STATS_REPLY:
+        try:
+            payload = body[1:].decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"bad STATS_REPLY body: {error}") from None
+        return ("stats_reply", payload)
     raise ProtocolError(f"unknown frame type {kind}")
 
 

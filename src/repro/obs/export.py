@@ -1,0 +1,142 @@
+"""Chrome ``trace_event`` JSON export and validation.
+
+The exchange format is the Trace Event Format's *JSON Object Format*: a
+top-level object with a ``traceEvents`` array of event objects, each with
+``name`` / ``ph`` / ``ts`` (microseconds) / ``pid`` / ``tid`` and, for
+complete events (``ph == "X"``), a ``dur``.  Both ``chrome://tracing`` and
+Perfetto load it directly, which makes one gateway run's
+ingest -> ring-drain -> tick-apply -> checkpoint-flush path inspectable as
+nested spans across the parent and worker processes (they share the
+CLOCK_MONOTONIC timebase).
+
+:func:`validate_chrome_trace` is a dependency-free structural check of the
+same rules -- the CI smoke step runs it against a freshly exported trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import ReproError
+
+#: Event phases this exporter emits / the validator accepts.
+KNOWN_PHASES = ("X", "i", "B", "E", "M", "C")
+
+
+class TraceFormatError(ReproError):
+    """An exported trace violates the ``trace_event`` JSON format."""
+
+
+def chrome_trace(
+    events: Sequence[Dict],
+    process_names: Union[Dict[int, str], None] = None,
+) -> Dict:
+    """Assemble span events into a Chrome ``trace_event`` JSON document.
+
+    ``process_names`` maps pids to display names -- the fleet labels the
+    parent and each shard worker, so the Perfetto track names read
+    ``gateway parent`` / ``shard-02 worker`` instead of raw pids.  The
+    events are sorted by timestamp; metadata (``ph: "M"``) records go
+    first, as the format expects.
+    """
+    metadata: List[Dict] = []
+    if process_names:
+        for pid, name in sorted(process_names.items()):
+            metadata.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": int(pid),
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": str(name)},
+            })
+    body = sorted(events, key=lambda event: event.get("ts", 0))
+    return {
+        "traceEvents": metadata + body,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    events: Sequence[Dict],
+    process_names: Union[Dict[int, str], None] = None,
+) -> Dict:
+    """Write the assembled trace document to ``path``; returns it."""
+    document = chrome_trace(events, process_names=process_names)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+    return document
+
+
+def validate_chrome_trace(document: Union[Dict, str]) -> int:
+    """Check a trace document against the ``trace_event`` JSON format.
+
+    Accepts the document dict or a path to a JSON file.  Returns the
+    number of events validated; raises :class:`TraceFormatError` on the
+    first violation.  The checks mirror what the Perfetto importer
+    requires: a ``traceEvents`` array whose entries carry a string
+    ``name``, a known ``ph``, integer ``ts`` / ``pid`` / ``tid``, a
+    non-negative integer ``dur`` on complete events, and JSON-object
+    ``args`` where present.
+    """
+    if isinstance(document, str):
+        with open(document, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    if not isinstance(document, dict):
+        raise TraceFormatError(
+            f"trace document must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceFormatError("trace document has no traceEvents array")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise TraceFormatError(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            raise TraceFormatError(f"{where} has unknown phase {phase!r}")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            raise TraceFormatError(f"{where} has no name")
+        for field in ("ts", "pid", "tid"):
+            value = event.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TraceFormatError(
+                    f"{where} field {field!r} must be an integer, "
+                    f"got {value!r}"
+                )
+        if phase == "X":
+            duration = event.get("dur")
+            if (not isinstance(duration, int) or isinstance(duration, bool)
+                    or duration < 0):
+                raise TraceFormatError(
+                    f"{where} complete event needs a non-negative integer "
+                    f"dur, got {duration!r}"
+                )
+        if "args" in event and not isinstance(event["args"], dict):
+            raise TraceFormatError(f"{where} args must be an object")
+    return len(events)
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.export --validate trace.json``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace_event JSON file."
+    )
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument("--validate", action="store_true",
+                        help="(default action) validate and report")
+    args = parser.parse_args(argv)
+    count = validate_chrome_trace(args.path)
+    print(f"{args.path}: {count} events ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

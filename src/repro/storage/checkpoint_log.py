@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.config import StateGeometry
 from repro.errors import NoConsistentCheckpointError, StorageError
+from repro.obs.trace import get_tracer
 from repro.storage.double_backup import (
     RESTORE_REGION_OBJECTS,
     StreamingRestore,
@@ -271,7 +272,14 @@ class CheckpointLogStore:
                 RECORD_CHECKPOINT_COMMIT, self._writing_epoch, cut_tick, b""
             )
         )
-        self._append_parts(parts, committing=True)
+        with get_tracer().span(
+            "log_writev",
+            epoch=self._writing_epoch,
+            cut=cut_tick,
+            bytes=payload_bytes,
+            iovecs=len(parts),
+        ):
+            self._append_parts(parts, committing=True)
         self._writing_epoch = None
         return payload_bytes
 

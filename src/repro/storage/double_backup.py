@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.config import StateGeometry
 from repro.errors import NoConsistentCheckpointError, StorageError
+from repro.obs.trace import get_tracer
 from repro.storage.layout import (
     BACKUP_HEADER_BYTES,
     STATE_COMPLETE,
@@ -306,9 +307,12 @@ class DoubleBackupStore:
             ids_parts.append(run[0])
             row_parts.append(run[1])
             payload_bytes += run[1].nbytes
-        if ids_parts:
-            self._pwritev_sorted_parts(ids_parts, row_parts)
-        self.commit_checkpoint(cut_tick)
+        with get_tracer().span(
+            "backup_pwritev", cut=cut_tick, bytes=payload_bytes
+        ):
+            if ids_parts:
+                self._pwritev_sorted_parts(ids_parts, row_parts)
+            self.commit_checkpoint(cut_tick)
         return payload_bytes
 
     def _pwritev_sorted_parts(self, ids_parts, row_parts) -> None:

@@ -1,0 +1,107 @@
+"""Tests for Chrome trace_event export and structural validation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TraceFormatError,
+    chrome_trace,
+    main,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def span(name, ts, pid=1, tid=1, dur=5, **args):
+    return {"name": name, "ph": "X", "ts": ts, "dur": dur,
+            "pid": pid, "tid": tid, "args": args}
+
+
+class TestChromeTrace:
+    def test_events_sorted_by_timestamp(self):
+        document = chrome_trace([span("b", 20), span("a", 10)])
+        names = [e["name"] for e in document["traceEvents"]]
+        assert names == ["a", "b"]
+
+    def test_process_name_metadata_first(self):
+        document = chrome_trace(
+            [span("tick", 10, pid=42)],
+            process_names={42: "shard-00 worker", 7: "fleet parent"},
+        )
+        events = document["traceEvents"]
+        assert [e["ph"] for e in events[:2]] == ["M", "M"]
+        assert events[0]["args"]["name"] == "fleet parent"  # pid-sorted
+        assert events[2]["name"] == "tick"
+
+    def test_document_validates(self):
+        document = chrome_trace(
+            [span("tick", 10), span("flush", 12)],
+            process_names={1: "parent"},
+        )
+        assert validate_chrome_trace(document) == 3
+
+
+class TestValidation:
+    def test_rejects_non_object_document(self):
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            validate_chrome_trace([])  # type: ignore[arg-type]
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(TraceFormatError, match="traceEvents"):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_unknown_phase(self):
+        bad = span("x", 1)
+        bad["ph"] = "Z"
+        with pytest.raises(TraceFormatError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_missing_name(self):
+        bad = span("", 1)
+        with pytest.raises(TraceFormatError, match="no name"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_non_integer_timestamp(self):
+        bad = span("x", 1.5)
+        with pytest.raises(TraceFormatError, match="'ts'"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_boolean_pid(self):
+        bad = span("x", 1, pid=True)
+        with pytest.raises(TraceFormatError, match="'pid'"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_negative_duration(self):
+        bad = span("x", 1, dur=-2)
+        with pytest.raises(TraceFormatError, match="dur"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_non_object_args(self):
+        bad = span("x", 1)
+        bad["args"] = "nope"
+        with pytest.raises(TraceFormatError, match="args"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+
+class TestFileRoundTrip:
+    def test_write_then_validate_path(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, [span("tick", 3)],
+                           process_names={1: "parent"})
+        assert validate_chrome_trace(path) == 2
+        with open(path) as handle:
+            assert json.load(handle)["displayTimeUnit"] == "ms"
+
+    def test_cli_validates(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, [span("tick", 3)])
+        assert main([path, "--validate"]) == 0
+        assert "1 events ok" in capsys.readouterr().out
+
+    def test_cli_raises_on_bad_file(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"traceEvents": [{"ph": "Z"}]}, handle)
+        with pytest.raises(TraceFormatError):
+            main([path])

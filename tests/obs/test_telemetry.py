@@ -1,0 +1,121 @@
+"""Tests for the telemetry snapshot dataclasses and assembly."""
+
+from repro.engine.writer_pool import PoolStats
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.telemetry import (
+    SHARD_METRICS_LAYOUT,
+    SHARD_METRICS_SLOT,
+    FleetTelemetry,
+    PoolTelemetry,
+    ShardTelemetry,
+    assemble_fleet_telemetry,
+    recovery_counters,
+    shard_metrics_slot_spec,
+)
+
+
+def make_shard(index, **overrides):
+    base = dict(
+        index=index, alive=True, ticks_run=10, tick_p50_us=100.0,
+        tick_p99_us=400.0, tick_mean_us=150.0, commands_drained=5,
+        staging_us=30, cut_lag_ticks=1, checkpoint_age_ticks=2,
+        bytes_written=4096, ring_pending_bytes=0,
+        ring_capacity_bytes=65536, ring_high_water_bytes=80,
+    )
+    base.update(overrides)
+    return ShardTelemetry(**base)
+
+
+class TestShardSchema:
+    def test_slot_spec_is_one_row(self):
+        name, shape, _ = shard_metrics_slot_spec()
+        assert name == SHARD_METRICS_SLOT
+        assert shape == (1, SHARD_METRICS_LAYOUT.num_fields)
+
+    def test_layout_has_the_published_fields(self):
+        names = [spec.name for spec in SHARD_METRICS_LAYOUT.specs]
+        assert names == ["tick_us", "commands_drained", "staging_us",
+                         "cut_lag_ticks", "ring_high_water_bytes"]
+
+
+class TestPoolTelemetry:
+    def test_from_stats_copies_every_field(self):
+        stats = PoolStats(
+            jobs_submitted=9, jobs_completed=8, jobs_abandoned=1,
+            bytes_written=1 << 20, busy_seconds=0.25, batches_flushed=4,
+            jobs_batched=8, queue_depth=2, max_queue_depth=5,
+            coalesced_jobs=7, chunked_jobs=1, max_checkpoint_age_ticks=6,
+        )
+        pool = PoolTelemetry.from_stats(stats, num_workers=3)
+        assert pool.num_workers == 3
+        assert pool.jobs_submitted == 9
+        assert pool.jobs_completed == 8
+        assert pool.queue_depth == 2
+        assert pool.max_queue_depth == 5
+        assert pool.mean_batch_size == stats.mean_batch_size
+        assert pool.max_checkpoint_age_ticks == 6
+
+
+class TestAssembly:
+    def test_merges_histograms_and_maxes(self):
+        reset_global_registry()
+        registry = MetricsRegistry(SHARD_METRICS_LAYOUT, rows=2)
+        registry.row(0).histogram("tick_us").observe(100)
+        registry.row(1).histogram("tick_us").observe(10_000)
+        shards = [
+            make_shard(0, checkpoint_age_ticks=2, ring_high_water_bytes=10),
+            make_shard(1, checkpoint_age_ticks=7, ring_high_water_bytes=99),
+        ]
+        snapshot = assemble_fleet_telemetry(
+            "thread", shards,
+            [registry.row(i).histogram("tick_us").snapshot()
+             for i in range(2)],
+        )
+        assert snapshot.num_shards == 2
+        assert snapshot.max_checkpoint_age_ticks == 7
+        assert snapshot.ring_high_water_bytes == 99
+        # One 100us sample, one 10ms sample: the p99 sits in the top bucket.
+        assert snapshot.tick_p99_us > snapshot.tick_p50_us
+        assert snapshot.tick_mean_us > 0
+
+    def test_empty_fleet_is_all_zeroes(self):
+        reset_global_registry()
+        snapshot = assemble_fleet_telemetry("thread", [], [])
+        assert snapshot.tick_p99_us == 0.0
+        assert snapshot.max_checkpoint_age_ticks == 0
+
+    def test_recovery_counters_flow_through(self):
+        reset_global_registry()
+        global_registry().counter("recoveries_completed").inc(2)
+        global_registry().counter("recovery_replay_ticks").inc(40)
+        snapshot = assemble_fleet_telemetry("thread", [], [])
+        assert snapshot.recovery["recoveries_completed"] == 2
+        assert snapshot.recovery["recovery_replay_ticks"] == 40
+        assert recovery_counters()["recovery_stalls"] == 0
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        reset_global_registry()
+        original = assemble_fleet_telemetry(
+            "process", [make_shard(0), make_shard(1, alive=False)], [],
+            pool=PoolTelemetry.from_stats(PoolStats(jobs_submitted=3), 2),
+            gateway={"sessions": 4, "commands_applied": 12},
+        )
+        restored = FleetTelemetry.from_json(original.to_json())
+        assert restored == original
+        assert restored.shards[1].alive is False
+        assert restored.pool.num_workers == 2
+        assert restored.gateway == {"sessions": 4, "commands_applied": 12}
+
+    def test_round_trip_without_pool_or_gateway(self):
+        reset_global_registry()
+        original = assemble_fleet_telemetry("thread", [make_shard(0)], [])
+        restored = FleetTelemetry.from_json(original.to_json())
+        assert restored == original
+        assert restored.pool is None
+        assert restored.gateway is None
